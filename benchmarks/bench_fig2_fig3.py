@@ -1,0 +1,26 @@
+"""Fig. 2 and Fig. 3: the gzip dependence-distance profile listing."""
+
+from repro.bench import gzip_profile_listing
+from repro.core.profile_data import DepKind
+
+from conftest import emit
+
+
+def test_gzip_profile_listing(benchmark):
+    report, text = benchmark.pedantic(gzip_profile_listing, args=(0.5,),
+                                      rounds=1, iterations=1)
+    fb = next(v for v in report.constructs() if v.name == "flush_block")
+
+    # The paper's signature rows:
+    retval = [e for e in fb.edges(DepKind.RAW)
+              if e.var_hint.startswith("retval(")]
+    assert retval and min(e.min_tdep for e in retval) == 1
+    assert any(e.var_hint == "outcnt" for e in fb.edges(DepKind.RAW))
+    assert any(e.var_hint == "outcnt" for e in fb.edges(DepKind.WAW))
+    war_bases = {e.var_hint.split("[")[0] for e in fb.edges(DepKind.WAR)}
+    assert "flag_buf" in war_bases
+    # Disjoint outbuf writes carry no WAW edges.
+    waw_bases = {e.var_hint.split("[")[0] for e in fb.edges(DepKind.WAW)}
+    assert "outbuf" not in waw_bases
+
+    emit("fig2_fig3", text)

@@ -1,0 +1,51 @@
+"""Fig. 6: construct size vs. violating static RAW dependences for
+gzip (before/after removing the parallelized construct), 197.parser,
+130.lisp, plus the Delaunay negative control."""
+
+from repro.bench import fig6_data, render_fig6
+from repro.core.profile_data import DepKind
+
+from conftest import emit
+
+SCALE = 0.5
+
+
+def test_fig6(benchmark):
+    panels = benchmark.pedantic(fig6_data, kwargs={"scale": SCALE,
+                                                   "top": 10},
+                                rounds=1, iterations=1)
+    assert set(panels) == {"a", "b", "c", "d", "delaunay"}
+
+    # (a): the per-file loop is the largest construct.
+    a_rows = panels["a"].rows
+    assert a_rows[0].view.static.is_loop
+    assert a_rows[0].view.fn_name == "main"
+
+    # (b): once C1 and its singletons are gone, flush_block is among the
+    # large remaining candidates.
+    b_names = [row.view.name for row in panels["b"].rows[:4]]
+    assert "flush_block" in b_names
+    assert all(row.view.name != "zip" for row in panels["b"].rows)
+
+    # (c): the dictionary side outweighs the sentence loop.
+    c_rows = panels["c"].rows
+    dict_rank = next(i for i, r in enumerate(c_rows)
+                     if r.view.fn_name == "read_dictionary")
+    sentence_rank = next(i for i, r in enumerate(c_rows)
+                         if r.view.fn_name == "main"
+                         and r.view.static.is_loop)
+    assert dict_rank < sentence_rank
+
+    # (d): xlload runs once more than the batch loop iterates.
+    d_views = {r.view.name: r.view for r in panels["d"].rows}
+    batch = next(v for name, v in d_views.items()
+                 if v.static.is_loop and v.fn_name == "main")
+    assert d_views["xlload"].instances == batch.instances + 1
+
+    # Delaunay: heavy violating-RAW counts on the hot loop.
+    hot = max((r.view for r in panels["delaunay"].rows
+               if r.view.static.is_loop),
+              key=lambda v: v.total_duration)
+    assert hot.violating_count(DepKind.RAW) >= 15
+
+    emit("fig6", render_fig6(panels))

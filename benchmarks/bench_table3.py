@@ -1,0 +1,57 @@
+"""Table III: per-benchmark construct counts and profiling overhead.
+
+``test_table3_all`` regenerates the whole table; the parametrized
+benches time the instrumented run of each workload individually so
+pytest-benchmark's stats cover every row.
+"""
+
+import pytest
+
+from repro.bench import render_table3, table3_rows
+from repro.core.alchemist import Alchemist, ProfileOptions
+from repro.ir import compile_source
+from repro.workloads import TABLE3_ORDER, get
+
+from conftest import emit
+
+SCALE = 0.5
+
+
+def test_table3_all(benchmark):
+    rows = benchmark.pedantic(table3_rows, args=(SCALE,),
+                              rounds=1, iterations=1)
+    assert len(rows) == len(TABLE3_ORDER)
+    for row in rows:
+        # The shape that matters: instrumentation costs real time
+        # (paper: 166-712x on valgrind; a few x on this substrate).
+        assert row.prof_seconds > row.orig_seconds
+        assert row.static > 0 and row.dynamic > 0
+    emit("table3", render_table3(rows))
+
+
+@pytest.mark.parametrize("name", TABLE3_ORDER)
+def test_profile_run(benchmark, name):
+    """Instrumented execution time per workload (the Prof. column)."""
+    workload = get(name, SCALE)
+    program = compile_source(workload.source)
+    alch = Alchemist(ProfileOptions(measure_baseline=False))
+
+    def run():
+        return alch.profile(program=program)
+
+    report = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert report.stats.instructions > 0
+
+
+@pytest.mark.parametrize("name", TABLE3_ORDER)
+def test_baseline_run(benchmark, name):
+    """Uninstrumented execution time per workload (the Orig. column)."""
+    workload = get(name, SCALE)
+    program = compile_source(workload.source)
+    alch = Alchemist()
+
+    def run():
+        return alch.baseline_seconds(program)
+
+    seconds = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert seconds >= 0

@@ -1,0 +1,31 @@
+"""Table IV: violating static dependences at the parallelized
+locations of bzip2, ogg, aes and par2."""
+
+from repro.bench import render_table4, table4_rows
+
+from conftest import emit
+
+SCALE = 0.5
+
+
+def test_table4(benchmark):
+    rows = benchmark.pedantic(table4_rows, args=(SCALE,),
+                              rounds=1, iterations=1)
+    assert len(rows) == 6  # bzip2 x2, ogg, aes, par2 x2
+    by_name = {}
+    for row in rows:
+        by_name.setdefault(row.name, []).append(row)
+
+    # Shape checks mirroring the paper's narrative:
+    # bzip2's loops conflict through the shared bzf stream (WAW-heavy).
+    assert all(r.waw > 0 for r in by_name["bzip2"])
+    # aes conflicts on ivec (WAW and WAR present).
+    (aes,) = by_name["aes"]
+    assert aes.waw > 0 and aes.war > 0
+    # ogg's file loop shows all three kinds (errors/samples/outlen).
+    (ogg,) = by_name["ogg"]
+    assert ogg.raw > 0 and ogg.waw > 0 and ogg.war > 0
+    # par2's loops carry WAR conflicts (buffers reused across rounds).
+    assert all(r.war > 0 for r in by_name["par2"])
+
+    emit("table4", render_table4(rows))

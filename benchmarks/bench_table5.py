@@ -1,0 +1,49 @@
+"""Table V: simulated parallelization speedups on 4 workers.
+
+Paper: bzip2 3.46x, ogg 3.95x, par2 1.78x, aes 1.63x. The shape to
+hold: bzip2/ogg near-linear, par2/aes clearly sublinear but winning,
+and that ordering.
+"""
+
+from repro.bench import render_table5, table5_rows
+
+from conftest import emit
+
+
+def test_table5(benchmark):
+    rows = benchmark.pedantic(table5_rows, kwargs={"scale": 1.0,
+                                                   "workers": 4},
+                              rounds=1, iterations=1)
+    by_name = {r.name: r for r in rows}
+    assert by_name["bzip2"].speedup > 2.5
+    assert by_name["ogg"].speedup > 2.5
+    assert 1.3 < by_name["par2"].speedup < 3.2
+    assert 1.3 < by_name["aes"].speedup < 3.2
+    near_linear = min(by_name["bzip2"].speedup, by_name["ogg"].speedup)
+    serial_bound = max(by_name["par2"].speedup, by_name["aes"].speedup)
+    assert near_linear > serial_bound
+    emit("table5", render_table5(rows))
+
+
+def test_table5_worker_sweep(benchmark):
+    """Speedup as a function of worker count (extension of Table V)."""
+
+    def sweep():
+        lines = ["Table V extension: speedup vs worker count"]
+        header = f"{'benchmark':10s}" + "".join(
+            f"{w:>8d}w" for w in (1, 2, 4, 8))
+        lines.append(header)
+        results = {}
+        for workers in (1, 2, 4, 8):
+            for row in table5_rows(scale=1.0, workers=workers):
+                results.setdefault(row.name, {})[workers] = row.speedup
+        for name, per_w in results.items():
+            lines.append(f"{name:10s}" + "".join(
+                f"{per_w[w]:8.2f} " for w in (1, 2, 4, 8)))
+        return lines, results
+
+    lines, results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for name, per_w in results.items():
+        speeds = [per_w[w] for w in (1, 2, 4, 8)]
+        assert speeds == sorted(speeds)  # monotone in workers
+    emit("table5_worker_sweep", "\n".join(lines))

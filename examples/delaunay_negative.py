@@ -1,0 +1,56 @@
+"""The negative result (paper §IV-B.1): Delaunay mesh refinement.
+
+Run with::
+
+    python examples/delaunay_negative.py
+
+The paper uses Delaunay refinement as the control: a program known to
+be extremely hard to parallelize with futures. Its profile shows the
+computation-heavy constructs saturated with violating RAW dependences,
+and the futures simulation confirms there is nothing to win. (Kulkarni
+et al.'s optimistic Galois approach is what it actually takes.)
+"""
+
+from repro.core.advisor import Advisor, Verdict
+from repro.core.alchemist import Alchemist
+from repro.core.profile_data import DepKind
+from repro.ir import compile_source
+from repro.parallel import estimate_speedup
+from repro.workloads import get
+
+
+def main() -> None:
+    workload = get("delaunay")
+    program = compile_source(workload.source)
+    report = Alchemist().profile(program=program)
+
+    print("=== Violating RAW dependences per hot construct ===")
+    for view in report.top_constructs(6):
+        count = view.violating_count(DepKind.RAW)
+        bar = "!" * min(count, 60)
+        print(f"{view.name:28s} size={view.size_fraction():.2f} "
+              f"violating RAW={count:3d} {bar}")
+
+    print()
+    print("=== Advisor verdicts ===")
+    recs = Advisor(report).recommend(6)
+    for rec in recs:
+        print(f"{rec.view.name:28s} -> {rec.verdict.value}")
+    blocked = sum(1 for r in recs if r.verdict is Verdict.BLOCKED)
+    print(f"({blocked}/{len(recs)} hot constructs blocked)")
+
+    print()
+    print("=== Futures simulation of the refinement loop ===")
+    _, line = workload.primary_target()
+    for workers in (2, 4, 8):
+        result = estimate_speedup(program=program, line=line,
+                                  workers=workers)
+        print(f"{workers} workers: x{result.speedup:.2f} "
+              f"({len(result.graph.task_deps)} cross-iteration "
+              "dependences)")
+    print("No speedup at any width: every split reads the worklist and "
+          "mesh state its predecessors wrote.")
+
+
+if __name__ == "__main__":
+    main()

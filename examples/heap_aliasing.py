@@ -1,0 +1,100 @@
+"""Heap aliasing: why dynamic dependence profiling beats static analysis.
+
+Run with::
+
+    python examples/heap_aliasing.py
+
+The paper's introduction argues that data parallelism hides from static
+analysis because "different memory blocks at runtime usually are mapped
+to the same abstract locations at compile time". This example builds
+that exact situation: a pipeline where every stage passes ``malloc``'d
+buffers through the *same* pointer-typed code. A compiler sees one
+abstract heap location; Alchemist observes the concrete addresses and
+proves the per-packet work independent — while catching the one real
+dependence (the shared checksum accumulator).
+"""
+
+from repro import Advisor, Alchemist
+from repro.core.profile_data import DepKind
+
+SOURCE = """
+int checksum;      // the one genuinely shared cell
+int results[8];
+
+int *make_packet(int seed, int n) {
+    int *p = malloc(n + 1);
+    p[0] = n;
+    int i;
+    for (i = 1; i <= n; i++) {
+        p[i] = (seed * 31 + i * 7) % 251;
+    }
+    return p;
+}
+
+int process_packet(int *p) {
+    int n = p[0];
+    int acc = 0;
+    int i;
+    for (i = 1; i <= n; i++) {
+        p[i] = (p[i] * p[i] + 13) % 10007;   // in-place transform
+        acc = (acc + p[i]) % 10007;
+    }
+    checksum = (checksum + acc) % 65521;     // shared accumulator
+    return acc;
+}
+
+int main() {
+    int pkt;
+    for (pkt = 0; pkt < 8; pkt++) {          // candidate loop
+        int *p = make_packet(pkt, 24);
+        results[pkt] = process_packet(p);
+        free(p);
+    }
+    int total = 0;
+    for (pkt = 0; pkt < 8; pkt++) {
+        total = (total + results[pkt]) % 65521;
+    }
+    print(total, checksum);
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    report = Alchemist().profile(SOURCE)
+
+    print("=== Ranked constructs ===")
+    for view in report.top_constructs(5):
+        print(f"{view.describe():58s} "
+              f"violating RAW: {view.violating_count(DepKind.RAW)}")
+
+    packet_loop = next(v for v in report.constructs()
+                       if v.static.is_loop and v.fn_name == "main")
+
+    print()
+    print("=== Violating edges of the packet loop ===")
+    conflict_vars = set()
+    for kind in (DepKind.RAW, DepKind.WAW, DepKind.WAR):
+        for edge in packet_loop.violating(kind):
+            conflict_vars.add(edge.var_hint.split("[")[0])
+            print(f"  {kind.value}: Tdep={edge.min_tdep:<8d} "
+                  f"on {edge.var_hint}")
+
+    print()
+    heap_conflicts = [v for v in conflict_vars if v.startswith("heap#")]
+    print(f"conflicting variables: {sorted(conflict_vars)}")
+    if not heap_conflicts:
+        print("-> no conflicts through heap blocks: every packet buffer "
+              "is independent, even though")
+        print("   all packets flow through one static pointer location. "
+              "Only `checksum` needs")
+        print("   a per-thread copy (reduction) to parallelize this loop.")
+
+    print()
+    print("=== Advisor ===")
+    for rec in Advisor(report).recommend(3):
+        print(rec.describe())
+
+
+if __name__ == "__main__":
+    main()

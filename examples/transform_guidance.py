@@ -1,0 +1,93 @@
+"""Transformation guidance: the paper's §II walk-through as annotations.
+
+Run with::
+
+    python examples/transform_guidance.py
+
+The paper's gzip discussion reads a profile table and derives, by
+hand: spawn ``flush_block`` as a future from the in-loop call site,
+join before the conflicting reads (the return value and ``outcnt``),
+privatize ``flag_buf``, and hoist the ``last_flags`` reset into the
+continuation. This example produces that guidance mechanically, as an
+annotated listing — first for the parallelizable candidate, then for a
+deliberately serial loop to show the BLOCKED verdict.
+"""
+
+from repro import Alchemist
+from repro.core.annotate import annotate
+
+GZIP_MINI = """int window[64];
+int flag_buf[64];
+int outcnt;
+int last_flags;
+int outbuf[128];
+
+int flush_block(int buf[], int len) {
+    flag_buf[last_flags] = 1;
+    int k = 0;
+    int bits = 0;
+    while (k < len) {
+        bits = (bits * 31 + buf[k]) % 251;
+        outbuf[outcnt] = bits;
+        outcnt++;
+        k++;
+    }
+    last_flags = 0;
+    return len;
+}
+
+int main() {
+    int processed = 0;
+    int i = 0;
+    while (i < 48) {
+        window[i % 64] = i * 7 % 251;
+        if (i % 16 == 15) {
+            processed += flush_block(window, 16);
+        }
+        flag_buf[i % 16] = i & 1;
+        last_flags++;
+        i++;
+    }
+    print(processed, outcnt);
+    return 0;
+}
+"""
+
+SERIAL = """int state;
+int history[64];
+int step(int x) {
+    state = (state * 31 + x) % 10007;
+    return state;
+}
+int main() {
+    int i;
+    for (i = 0; i < 40; i++) {
+        history[i] = step(i);
+    }
+    return state;
+}
+"""
+
+
+def line_of(source: str, marker: str) -> int:
+    return next(i for i, text in enumerate(source.splitlines(), start=1)
+                if marker in text)
+
+
+def main() -> None:
+    print("================ flush_block: TRANSFORM then spawn ===========")
+    report = Alchemist().profile(GZIP_MINI)
+    listing = annotate(report, GZIP_MINI,
+                       line=line_of(GZIP_MINI, "int flush_block"))
+    print(listing.render())
+
+    print()
+    print("================ serial chain: BLOCKED =======================")
+    report = Alchemist().profile(SERIAL)
+    listing = annotate(report, SERIAL,
+                       line=line_of(SERIAL, "for (i = 0; i < 40"))
+    print(listing.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Alchemist: a transparent dependence distance profiling infrastructure.
+
+Reproduction of Zhang, Navabi & Jagannathan (CGO 2009). The package
+profiles MiniC programs (a C subset executed by an instruction-level
+interpreter) and reports, for every program construct (procedure, loop,
+conditional), the minimum time-ordered distance of every RAW/WAR/WAW
+dependence edge that crosses from the construct into its continuation.
+
+Typical use::
+
+    from repro import Alchemist
+
+    report = Alchemist().profile(source_code)
+    for construct in report.top_constructs(10):
+        print(construct.describe())
+
+Subpackages
+-----------
+``repro.lang``
+    MiniC lexer, parser and AST.
+``repro.ir``
+    Register IR, basic blocks, AST lowering.
+``repro.analysis``
+    Dominance, natural loops and the static construct table.
+``repro.runtime``
+    Addressable memory model and the tracing interpreter.
+``repro.core``
+    The Alchemist profiler: execution indexing, construct pool,
+    shadow-memory dependence detection, profiles, reports and the
+    parallelization advisor.
+``repro.parallel``
+    Future-execution simulator used to estimate parallel speedups.
+``repro.workloads``
+    MiniC ports of the paper's eight evaluation benchmarks.
+``repro.bench``
+    Harness that regenerates every table and figure of the paper.
+"""
+
+from repro.version import __version__
+
+__all__ = [
+    "Alchemist",
+    "ProfileOptions",
+    "ProfileReport",
+    "Advisor",
+    "record_index_tree",
+    "__version__",
+]
+
+# Lazy imports (PEP 562) keep `import repro` cheap and let subpackages be
+# imported directly without pulling in the whole profiler.
+_LAZY = {
+    "Alchemist": ("repro.core.alchemist", "Alchemist"),
+    "ProfileOptions": ("repro.core.alchemist", "ProfileOptions"),
+    "ProfileReport": ("repro.core.report", "ProfileReport"),
+    "Advisor": ("repro.core.advisor", "Advisor"),
+    "record_index_tree": ("repro.core.treedump", "record_index_tree"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, attr)

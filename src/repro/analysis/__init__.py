@@ -1,0 +1,23 @@
+"""Static analyses feeding the profiler.
+
+The paper's instrumentation rules (Fig. 5) need to know, for every
+predicate, (a) whether it is a loop predicate and (b) its immediate
+post-dominator. Both come from here: classic iterative dominator /
+post-dominator computation and natural-loop detection, packaged into a
+:class:`repro.analysis.constructs.ConstructTable`.
+"""
+
+from repro.analysis.constructs import (ConstructKind, ConstructTable,
+                                       StaticConstruct)
+from repro.analysis.dominance import immediate_dominators, post_dominators
+from repro.analysis.loops import LoopInfo, find_loops
+
+__all__ = [
+    "ConstructKind",
+    "ConstructTable",
+    "StaticConstruct",
+    "immediate_dominators",
+    "post_dominators",
+    "LoopInfo",
+    "find_loops",
+]

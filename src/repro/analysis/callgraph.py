@@ -1,0 +1,51 @@
+"""Static call graph over the IR (used by reports and the advisor)."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.ir import instructions as ins
+from repro.ir.cfg import ProgramIR
+
+
+def call_sites(program: ProgramIR) -> dict[str, list[int]]:
+    """Map callee name -> pcs of its call sites."""
+    sites: dict[str, list[int]] = defaultdict(list)
+    for instr in program.instrs:
+        if isinstance(instr, ins.Call):
+            sites[instr.name].append(instr.pc)
+    return dict(sites)
+
+
+def call_edges(program: ProgramIR) -> set[tuple[str, str]]:
+    """Set of (caller, callee) edges."""
+    edges: set[tuple[str, str]] = set()
+    for instr in program.instrs:
+        if isinstance(instr, ins.Call):
+            edges.add((instr.fn_name, instr.name))
+    return edges
+
+
+def recursive_functions(program: ProgramIR) -> set[str]:
+    """Functions on a call-graph cycle (need the paper's recursion-safe
+    nesting counters — §III-B 'Recursion')."""
+    edges = call_edges(program)
+    adjacency: dict[str, set[str]] = defaultdict(set)
+    for caller, callee in edges:
+        adjacency[caller].add(callee)
+
+    recursive: set[str] = set()
+    for start in program.functions:
+        stack = [start]
+        seen: set[str] = set()
+        while stack:
+            node = stack.pop()
+            for succ in adjacency.get(node, ()):
+                if succ == start:
+                    recursive.add(start)
+                    stack = []
+                    break
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+    return recursive

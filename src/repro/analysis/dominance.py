@@ -1,0 +1,117 @@
+"""Dominator and post-dominator computation.
+
+Implements the Cooper–Harvey–Kennedy iterative algorithm ("A Simple,
+Fast Dominance Algorithm") over an arbitrary successor function, so the
+same code computes dominators (forward CFG) and post-dominators (reverse
+CFG rooted at the virtual exit). The property tests cross-check the
+result against ``networkx.immediate_dominators``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable
+
+from repro.ir.cfg import VIRTUAL_EXIT, FunctionIR
+
+Node = Hashable
+
+
+def immediate_dominators(
+        entry: Node,
+        successors: Callable[[Node], Iterable[Node]]) -> dict[Node, Node]:
+    """Immediate dominators of every node reachable from ``entry``.
+
+    Returns ``{node: idom}`` with ``idom[entry] == entry``. Nodes not
+    reachable from ``entry`` are absent.
+    """
+    order: list[Node] = []  # reverse post-order, built from a DFS
+    visited: set[Node] = set()
+    # Iterative post-order DFS.
+    stack: list[tuple[Node, Iterable[Node]]] = [(entry, iter(successors(entry)))]
+    visited.add(entry)
+    while stack:
+        node, succ_iter = stack[-1]
+        advanced = False
+        for succ in succ_iter:
+            if succ not in visited:
+                visited.add(succ)
+                stack.append((succ, iter(successors(succ))))
+                advanced = True
+                break
+        if not advanced:
+            order.append(node)
+            stack.pop()
+    order.reverse()  # now reverse post-order
+    index = {node: i for i, node in enumerate(order)}
+
+    preds: dict[Node, list[Node]] = {node: [] for node in order}
+    for node in order:
+        for succ in successors(node):
+            if succ in index:
+                preds[succ].append(node)
+
+    idom: dict[Node, Node] = {entry: entry}
+
+    def intersect(a: Node, b: Node) -> Node:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]
+            while index[b] > index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in order[1:]:
+            new_idom: Node | None = None
+            for pred in preds[node]:
+                if pred in idom:
+                    new_idom = pred if new_idom is None else intersect(pred, new_idom)
+            if new_idom is not None and idom.get(node) != new_idom:
+                idom[node] = new_idom
+                changed = True
+    return idom
+
+
+def dominators_of(fn: FunctionIR) -> dict[int, int]:
+    """Immediate dominators of a function's blocks (by block id)."""
+    blocks = fn.block_map()
+
+    def successors(block_id: int) -> list[int]:
+        if block_id == VIRTUAL_EXIT:
+            return []
+        return [s for s in blocks[block_id].successors() if s != VIRTUAL_EXIT]
+
+    return immediate_dominators(fn.entry_block.id, successors)
+
+
+def post_dominators(fn: FunctionIR) -> dict[int, int]:
+    """Immediate post-dominators of a function's blocks.
+
+    The reverse CFG is rooted at :data:`VIRTUAL_EXIT`; every ``Ret`` block
+    has an edge to it. Blocks that cannot reach the exit (infinite loops)
+    are absent from the result.
+    """
+    preds = fn.predecessors()
+
+    def reverse_successors(block_id: int) -> list[int]:
+        return preds.get(block_id, [])
+
+    ipdom = immediate_dominators(VIRTUAL_EXIT, reverse_successors)
+    ipdom.pop(VIRTUAL_EXIT, None)
+    return ipdom
+
+
+def dominates(idom: dict[Node, Node], entry: Node, a: Node, b: Node) -> bool:
+    """True iff ``a`` dominates ``b`` under the idom map ``idom``."""
+    node = b
+    while True:
+        if node == a:
+            return True
+        if node == entry or node not in idom:
+            return False
+        parent = idom[node]
+        if parent == node:
+            return node == a
+        node = parent

@@ -1,0 +1,76 @@
+"""Natural loop detection.
+
+A back edge is an edge ``u -> h`` whose target dominates its source. The
+natural loop of a header ``h`` is ``{h}`` plus every block that can reach
+one of its back-edge sources without passing through ``h``. Loop bodies
+drive rule (4) of the paper's instrumentation (loop-iteration siblings)
+and loop-predicate classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.dominance import dominates, dominators_of
+from repro.ir import instructions as ins
+from repro.ir.cfg import VIRTUAL_EXIT, FunctionIR
+
+
+@dataclass
+class LoopInfo:
+    """One natural loop (back edges with the same header are merged)."""
+
+    header: int
+    body: frozenset[int] = field(default_factory=frozenset)
+    back_edges: list[tuple[int, int]] = field(default_factory=list)
+    #: pc of the branch that drives the iteration (the paper's "loop
+    #: predicate"): the header's branch for while/for loops, the back-edge
+    #: source's branch for do-while loops. ``None`` if neither exists.
+    canonical_branch_pc: int | None = None
+
+
+def find_loops(fn: FunctionIR) -> list[LoopInfo]:
+    """All natural loops of ``fn``, innermost and outermost alike."""
+    blocks = fn.block_map()
+    idom = dominators_of(fn)
+    entry = fn.entry_block.id
+
+    back_edges: list[tuple[int, int]] = []
+    for block in fn.blocks:
+        if block.id not in idom:
+            continue  # unreachable
+        for succ in block.successors():
+            if succ == VIRTUAL_EXIT or succ not in idom:
+                continue
+            if dominates(idom, entry, succ, block.id):
+                back_edges.append((block.id, succ))
+
+    loops: dict[int, LoopInfo] = {}
+    preds = fn.predecessors()
+    for source, header in back_edges:
+        loop = loops.setdefault(header, LoopInfo(header))
+        loop.back_edges.append((source, header))
+        body = set(loop.body) | {header}
+        stack = [source]
+        while stack:
+            node = stack.pop()
+            if node in body or node == VIRTUAL_EXIT:
+                continue
+            body.add(node)
+            stack.extend(preds.get(node, []))
+        loop.body = frozenset(body)
+
+    for loop in loops.values():
+        loop.canonical_branch_pc = _canonical_branch(blocks, loop)
+    return sorted(loops.values(), key=lambda l: l.header)
+
+
+def _canonical_branch(blocks, loop: LoopInfo) -> int | None:
+    header_term = blocks[loop.header].terminator
+    if isinstance(header_term, ins.Branch):
+        return header_term.pc
+    for source, _ in loop.back_edges:
+        term = blocks[source].terminator
+        if isinstance(term, ins.Branch):
+            return term.pc
+    return None

@@ -1,0 +1,136 @@
+"""Flat (context-insensitive) dependence profiling — the weakest foil.
+
+"Most traditional profiling techniques simply aggregate information
+according to static artifacts such as instructions and functions"
+(paper §III, opening). This profiler is that strawman made concrete:
+every dependence is attributed to its static ``(head pc, tail pc)``
+pair and nothing else — no calling context, no loop iterations, no
+construct nesting. It can answer "is there *ever* a dependence between
+these two statements, and how close does it get?", but not "does it
+cross the loop boundary?", which is the question parallelization needs
+(the paper's Fig. 4(c) discussion).
+
+Used by ``benchmarks/bench_baselines.py`` to render the §III-B
+four-case experiment: flat and context-sensitive profiles are
+identical across all four variants; Alchemist's index tree separates
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.profile_data import DepKind
+from repro.ir.cfg import ProgramIR
+from repro.ir.lowering import compile_source
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.tracing import Tracer
+
+
+@dataclass
+class FlatEdge:
+    """One static dependence edge, aggregated over the whole run."""
+
+    head_pc: int
+    tail_pc: int
+    kind: DepKind
+    min_tdep: int
+    count: int = 1
+
+    def observe(self, tdep: int) -> None:
+        self.count += 1
+        if tdep < self.min_tdep:
+            self.min_tdep = tdep
+
+
+@dataclass
+class FlatProfile:
+    """All statically-attributed edges of one run."""
+
+    program: ProgramIR
+    edges: dict[tuple[int, int, DepKind], FlatEdge] = field(
+        default_factory=dict)
+    instructions: int = 0
+
+    def record(self, head_pc: int, tail_pc: int, kind: DepKind,
+               tdep: int) -> None:
+        key = (head_pc, tail_pc, kind)
+        edge = self.edges.get(key)
+        if edge is None:
+            self.edges[key] = FlatEdge(head_pc, tail_pc, kind, tdep)
+        else:
+            edge.observe(tdep)
+
+    def edges_between(self, head_fn: str, tail_fn: str) -> list[FlatEdge]:
+        """Edges whose endpoints live in the named functions."""
+        return [e for e in self.edges.values()
+                if self.program.fn_of(e.head_pc) == head_fn
+                and self.program.fn_of(e.tail_pc) == tail_fn]
+
+    def attribution_signature(self, head_fn: str,
+                              tail_fn: str) -> set[tuple]:
+        """Everything this profiler can say about head_fn -> tail_fn
+        dependences: the set of static source-line pairs. Variants that
+        share a signature are indistinguishable to flat profiling."""
+        return {(self.program.loc_of(e.head_pc)[0],
+                 self.program.loc_of(e.tail_pc)[0], e.kind)
+                for e in self.edges_between(head_fn, tail_fn)}
+
+
+class FlatTracer(Tracer):
+    """Shadow-memory dependence detection, static attribution only."""
+
+    def __init__(self, program: ProgramIR) -> None:
+        self.profile = FlatProfile(program)
+        # addr -> [ (write_pc, write_t) | None, {read_pc: read_t} ]
+        self._shadow: dict[int, list] = {}
+
+    def on_read(self, addr: int, pc: int, timestamp: int) -> None:
+        entry = self._shadow.get(addr)
+        if entry is None:
+            self._shadow[addr] = [None, {pc: timestamp}]
+            return
+        write = entry[0]
+        if write is not None:
+            self.profile.record(write[0], pc, DepKind.RAW,
+                                timestamp - write[1])
+        entry[1][pc] = timestamp
+
+    def on_write(self, addr: int, pc: int, timestamp: int) -> None:
+        entry = self._shadow.get(addr)
+        if entry is None:
+            self._shadow[addr] = [(pc, timestamp), {}]
+            return
+        write, reads = entry
+        for read_pc, read_t in reads.items():
+            self.profile.record(read_pc, pc, DepKind.WAR,
+                                timestamp - read_t)
+        if write is not None:
+            self.profile.record(write[0], pc, DepKind.WAW,
+                                timestamp - write[1])
+        entry[0] = (pc, timestamp)
+        entry[1] = {}
+
+    def on_frame_free(self, lo: int, hi: int) -> None:
+        shadow = self._shadow
+        if hi - lo < len(shadow):
+            for addr in range(lo, hi):
+                shadow.pop(addr, None)
+        else:
+            for addr in [a for a in shadow if lo <= a < hi]:
+                del shadow[addr]
+
+    def on_finish(self, timestamp: int) -> None:
+        self.profile.instructions = timestamp
+
+
+def profile_flat(source: str | None = None, *,
+                 program: ProgramIR | None = None) -> FlatProfile:
+    """Run a program under the flat baseline profiler."""
+    if program is None:
+        if source is None:
+            raise ValueError("need source or program")
+        program = compile_source(source)
+    tracer = FlatTracer(program)
+    Interpreter(program, tracer).run()
+    return tracer.profile

@@ -1,0 +1,44 @@
+"""Plain-text renderers for the paper's figures."""
+
+from __future__ import annotations
+
+from repro.core.profile_data import DepKind
+from repro.core.report import ProfileReport
+
+
+def render_profile_listing(report: ProfileReport, top: int = 8,
+                           max_edges: int = 6) -> str:
+    """Fig. 2 (RAW) and Fig. 3 (WAW/WAR) style gzip profile listing."""
+    parts = ["Fig 2 style profile (RAW dependences; '*' marks "
+             "Tdep <= Tdur violations)"]
+    parts.append(report.to_text(top=top, max_edges=max_edges,
+                                kinds=(DepKind.RAW,)))
+    parts.append("")
+    parts.append("Fig 3 style profile (WAR and WAW dependences)")
+    for view in report.top_constructs(3):
+        parts.append(view.describe())
+        parts.extend(view.edge_lines((DepKind.WAW, DepKind.WAR),
+                                     max_edges))
+    return "\n".join(parts)
+
+
+def render_fig6(panels: dict) -> str:
+    """Fig. 6: normalized size vs. normalized violating static RAW
+    dependences, as labelled text bars."""
+    lines = []
+    for key in sorted(panels):
+        panel = panels[key]
+        lines.append(panel.title)
+        if panel.note:
+            lines.append(f"  note: {panel.note}")
+        lines.append(f"  {'label':6s} {'construct':34s} "
+                     f"{'size':>6s} {'viol':>6s}  profile")
+        for row in panel.rows:
+            size_bar = "#" * max(1, round(row.norm_size * 30))
+            viol_bar = "!" * round(row.norm_violations * 30)
+            lines.append(
+                f"  {row.label:6s} {row.view.name[:34]:34s} "
+                f"{row.norm_size:6.3f} {row.norm_violations:6.3f}  "
+                f"{size_bar}{viol_bar}")
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,215 @@
+"""Command-line interface: ``alchemist`` / ``python -m repro``.
+
+Subcommands
+-----------
+``run FILE``
+    Execute a MiniC program (uninstrumented).
+``profile FILE``
+    Profile a MiniC program and print the ranked construct listing
+    (Fig. 2/3 style) plus the advisor's recommendations.
+``speedup FILE --line N``
+    Simulate parallelizing the construct at line N as futures.
+``tree FILE``
+    Record and render the execution index tree (paper Fig. 4).
+``annotate FILE --line N``
+    Render the transformation guidance for the construct at line N as
+    an annotated source listing (spawn/join/privatize markers).
+``workloads``
+    List the bundled benchmark ports.
+``experiments``
+    Regenerate every table and figure of the paper.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.advisor import Advisor
+from repro.core.alchemist import Alchemist, ProfileOptions
+from repro.core.profile_data import DepKind
+from repro.runtime.interpreter import run_source
+from repro.version import __version__
+
+
+def _read(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    value, interp = run_source(_read(args.file), stdout=sys.stdout)
+    print(f"[exit {value}; {interp.time} instructions]", file=sys.stderr)
+    return value
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    options = ProfileOptions(pool_size=args.pool_size,
+                             track_war_waw=not args.raw_only)
+    report = Alchemist(options).profile(_read(args.file),
+                                        filename=args.file)
+    kinds = (DepKind.RAW,) if args.raw_only else (
+        DepKind.RAW, DepKind.WAW, DepKind.WAR)
+    print(report.to_text(top=args.top, max_edges=args.edges, kinds=kinds))
+    print()
+    print(report.describe_run())
+    if not args.no_advice:
+        print()
+        print("Advisor recommendations:")
+        for rec in Advisor(report).recommend(args.top):
+            print(rec.describe())
+    return 0
+
+
+def _cmd_speedup(args: argparse.Namespace) -> int:
+    from repro.parallel.estimator import estimate_speedup
+
+    private = tuple(v for v in (args.private or "").split(",") if v)
+    result = estimate_speedup(
+        _read(args.file), line=args.line, workers=args.workers,
+        privatize=not args.no_privatize, private_vars=private)
+    print(result.describe())
+    graph = result.graph
+    print(f"tasks={len(graph.tasks)} serial={graph.serial_time} "
+          f"parallel_fraction={graph.parallel_fraction():.2f} "
+          f"task_deps={len(graph.task_deps)}")
+    return 0
+
+
+def _cmd_annotate(args: argparse.Namespace) -> int:
+    from repro.core.annotate import annotate_text
+
+    source = _read(args.file)
+    try:
+        print(annotate_text(source, line=args.line, context=args.context))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_tree(args: argparse.Namespace) -> int:
+    from repro.core.treedump import record_index_tree
+
+    tree, _tracer = record_index_tree(_read(args.file),
+                                      max_nodes=args.max_nodes)
+    print(tree.render(max_depth=args.depth,
+                      max_children=args.children))
+    print(f"[{tree.node_count} construct instances"
+          f"{'; truncated' if tree.truncated else ''}]",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    from repro.workloads import all_workloads, extra_workloads
+
+    workloads = all_workloads()
+    if args.extra:
+        workloads += extra_workloads()
+    for workload in workloads:
+        targets = ", ".join(
+            f"{t.fn_name}:{line}" for t, line in workload.target_lines())
+        print(f"{workload.name:12s} {workload.loc:4d} LoC  "
+              f"targets: {targets}")
+        print(f"{'':12s} {workload.description}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.bench import (fig6_data, gzip_profile_listing,
+                             render_fig6, render_table3, render_table4,
+                             render_table5, table3_rows, table4_rows,
+                             table5_rows)
+
+    scale = args.scale
+    print(render_table3(table3_rows(scale)))
+    print()
+    print(render_table4(table4_rows(scale)))
+    print()
+    print(render_table5(table5_rows(max(scale, 1.0))))
+    print()
+    _, listing = gzip_profile_listing(scale)
+    print(listing)
+    print()
+    print(render_fig6(fig6_data(scale)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="alchemist",
+        description="Alchemist dependence distance profiler "
+                    "(CGO 2009 reproduction)")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="execute a MiniC program")
+    p_run.add_argument("file")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_prof = sub.add_parser("profile", help="profile a MiniC program")
+    p_prof.add_argument("file")
+    p_prof.add_argument("--top", type=int, default=10,
+                        help="constructs to list")
+    p_prof.add_argument("--edges", type=int, default=8,
+                        help="dependence edges per construct")
+    p_prof.add_argument("--pool-size", type=int, default=4096)
+    p_prof.add_argument("--raw-only", action="store_true",
+                        help="skip WAR/WAW tracking")
+    p_prof.add_argument("--no-advice", action="store_true")
+    p_prof.set_defaults(func=_cmd_profile)
+
+    p_speed = sub.add_parser("speedup",
+                             help="simulate future-parallelization")
+    p_speed.add_argument("file")
+    p_speed.add_argument("--line", type=int, required=True,
+                         help="source line of the construct")
+    p_speed.add_argument("--workers", type=int, default=4)
+    p_speed.add_argument("--private", default="",
+                         help="comma-separated globals to privatize")
+    p_speed.add_argument("--no-privatize", action="store_true",
+                         help="keep WAR/WAW constraints")
+    p_speed.set_defaults(func=_cmd_speedup)
+
+    p_ann = sub.add_parser("annotate",
+                           help="annotated guidance for one construct")
+    p_ann.add_argument("file")
+    p_ann.add_argument("--line", type=int, required=True,
+                       help="source line heading the construct")
+    p_ann.add_argument("--context", type=int, default=2,
+                       help="context lines around each marker")
+    p_ann.set_defaults(func=_cmd_annotate)
+
+    p_tree = sub.add_parser("tree",
+                            help="render the execution index tree (Fig. 4)")
+    p_tree.add_argument("file")
+    p_tree.add_argument("--depth", type=int, default=None,
+                        help="maximum tree depth to render")
+    p_tree.add_argument("--children", type=int, default=12,
+                        help="siblings shown per node")
+    p_tree.add_argument("--max-nodes", type=int, default=100_000,
+                        help="recording budget before truncation")
+    p_tree.set_defaults(func=_cmd_tree)
+
+    p_wl = sub.add_parser("workloads", help="list bundled benchmarks")
+    p_wl.add_argument("--extra", action="store_true",
+                      help="include the heap-centric extra workloads")
+    p_wl.set_defaults(func=_cmd_workloads)
+
+    p_exp = sub.add_parser("experiments",
+                           help="regenerate the paper's tables/figures")
+    p_exp.add_argument("--scale", type=float, default=0.5)
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

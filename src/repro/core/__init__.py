@@ -1,0 +1,42 @@
+"""The Alchemist profiler (paper §III).
+
+Module map, following the paper's structure:
+
+* :mod:`repro.core.node` / :mod:`repro.core.pool` — construct instances
+  and the recycling pool with lazy retirement (Table I);
+* :mod:`repro.core.indexing` — the execution-indexing stack
+  (instrumentation rules, Fig. 5);
+* :mod:`repro.core.shadow` — shadow memory detecting RAW/WAR/WAW
+  dependences between instructions;
+* :mod:`repro.core.profiler` — the bottom-up profile update (Table II);
+* :mod:`repro.core.profile_data` — per-construct profiles with min-Tdep
+  edges;
+* :mod:`repro.core.tracer` — glues everything to the interpreter's
+  tracing interface;
+* :mod:`repro.core.report` / :mod:`repro.core.advisor` — ranked output
+  and parallelization guidance;
+* :mod:`repro.core.treedump` — materialized execution index trees
+  (Fig. 4) for small runs;
+* :mod:`repro.core.alchemist` — the user-facing facade.
+"""
+
+from repro.core.alchemist import Alchemist, ProfileOptions
+from repro.core.advisor import Advisor, Recommendation
+from repro.core.annotate import AnnotatedSource, annotate, annotate_text
+from repro.core.profile_data import DepKind
+from repro.core.report import ProfileReport
+from repro.core.treedump import IndexTree, record_index_tree
+
+__all__ = [
+    "Alchemist",
+    "ProfileOptions",
+    "Advisor",
+    "Recommendation",
+    "DepKind",
+    "ProfileReport",
+    "IndexTree",
+    "record_index_tree",
+    "AnnotatedSource",
+    "annotate",
+    "annotate_text",
+]

@@ -1,0 +1,131 @@
+"""Parallelization advisor: turns profiles into actionable guidance.
+
+Implements the decision procedure of paper §II:
+
+* a construct whose RAW dependences all satisfy ``Tdep > Tdur`` can be
+  spawned as a future and joined at the first conflicting read
+  (``READY``);
+* violating WAR/WAW dependences call for privatization or hoisting of
+  the conflicting variables (``TRANSFORM``), as the paper does for
+  gzip's ``flag_buf``/``last_flags`` and bzip2's ``bzf``;
+* violating RAW dependences block asynchronous execution (``BLOCKED``)
+  — the Delaunay benchmark is the paper's example of a program whose
+  hot constructs are all blocked.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.profile_data import DepKind, EdgeStats
+from repro.core.report import ConstructView, ProfileReport
+
+
+class Verdict(enum.Enum):
+    """How ready a construct is for asynchronous execution."""
+
+    READY = "ready"           # future annotation suffices
+    TRANSFORM = "transform"   # privatize WAR/WAW conflicts first
+    BLOCKED = "blocked"       # violating RAW dependences remain
+
+    def order(self) -> int:
+        return {"ready": 0, "transform": 1, "blocked": 2}[self.value]
+
+
+@dataclass
+class Recommendation:
+    """Guidance for one construct."""
+
+    view: ConstructView
+    verdict: Verdict
+    score: float
+    blocking_raw: list[EdgeStats] = field(default_factory=list)
+    privatize: list[str] = field(default_factory=list)
+    join_hints: list[EdgeStats] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = [f"{self.view.describe()} -> {self.verdict.value.upper()}"
+                 f" (score {self.score:.3f})"]
+        if self.blocking_raw:
+            lines.append(f"  blocking RAW edges: {len(self.blocking_raw)}")
+        if self.privatize:
+            lines.append("  privatize: " + ", ".join(self.privatize))
+        if self.join_hints:
+            lines.append(f"  join before {len(self.join_hints)} "
+                         "read site(s) to respect remaining RAW edges")
+        lines.extend(f"  note: {n}" for n in self.notes)
+        return "\n".join(lines)
+
+
+class Advisor:
+    """Ranks constructs and derives the required transformations."""
+
+    def __init__(self, report: ProfileReport,
+                 min_size_fraction: float = 0.005):
+        self.report = report
+        self.min_size_fraction = min_size_fraction
+
+    def recommend(self, top: int = 10) -> list[Recommendation]:
+        """Ranked recommendations: parallelizable first, largest first."""
+        recs = []
+        for view in self.report.constructs():
+            if view.size_fraction() < self.min_size_fraction:
+                continue
+            recs.append(self.assess(view))
+        recs.sort(key=lambda r: (r.verdict.order(), -r.score))
+        return recs[:top]
+
+    def assess(self, view: ConstructView) -> Recommendation:
+        """Build the recommendation for one construct.
+
+        Violating RAW edges *between instances* block parallelization;
+        violating RAW edges into the *continuation* are deferrable by
+        joining the future before the conflicting read (paper §II), so
+        they become join hints rather than blockers.
+        """
+        blocking = view.violating_internal(DepKind.RAW)
+        deferrable = view.violating_continuation(DepKind.RAW)
+        safe_raw = deferrable + [e for e in view.edges(DepKind.RAW)
+                                 if e.min_tdep > view.tdur]
+        privatize: list[str] = []
+        for kind in (DepKind.WAW, DepKind.WAR):
+            for edge in view.violating(kind):
+                hint = edge.var_hint or f"pc{edge.head_pc}"
+                base = hint.split("[")[0]
+                if base not in privatize:
+                    privatize.append(base)
+
+        if blocking:
+            verdict = Verdict.BLOCKED
+        elif privatize:
+            verdict = Verdict.TRANSFORM
+        else:
+            verdict = Verdict.READY
+
+        notes = []
+        if verdict is Verdict.READY and deferrable:
+            notes.append("annotate as future; join before the listed "
+                         "reads to respect the remaining RAW edges")
+        elif verdict is Verdict.READY and safe_raw:
+            notes.append("annotate as future; all RAW distances exceed "
+                         "the construct duration")
+        if verdict is Verdict.TRANSFORM:
+            notes.append("make private copies of the listed variables "
+                         "(or hoist their updates into the continuation)")
+        if verdict is Verdict.BLOCKED:
+            notes.append("continuation reads values produced too late; "
+                         "restructure or pick another construct")
+
+        score = view.size_fraction() * (
+            1.0 / (1.0 + len(blocking)))
+        return Recommendation(
+            view=view,
+            verdict=verdict,
+            score=score,
+            blocking_raw=blocking,
+            privatize=privatize,
+            join_hints=safe_raw,
+            notes=notes,
+        )

@@ -1,0 +1,152 @@
+"""Source annotation: the paper's "direct guidance" made concrete.
+
+Alchemist's stated contribution over speculative-runtime profilers is
+that it "provides direct guidance for safe manual transformations to
+break the dependencies it identifies" (§I, Generality). This module
+turns a profile plus one chosen construct into an annotated source
+listing a programmer can act on line by line:
+
+* ``SPAWN`` at the construct head — annotate as a future;
+* ``JOIN`` before each continuation read that a RAW edge reaches —
+  the paper's "joined at any possible conflicting reads";
+* ``PRIVATIZE`` / ``HOIST`` notes on the lines whose WAR/WAW writes
+  conflict with the construct (gzip's ``flag_buf`` copy and
+  ``last_flags`` hoist in §II are instances of these two patterns);
+* ``BLOCKED`` markers on reads that make asynchronous execution
+  unprofitable (violating RAW edges between instances).
+
+The annotator is deliberately textual — the paper targets *manual*
+transformation, and a marked-up listing is what its §II walk-through
+presents to the reader.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.advisor import Advisor, Recommendation, Verdict
+from repro.core.profile_data import DepKind
+from repro.core.report import ConstructView, ProfileReport
+
+
+@dataclass
+class LineMarks:
+    """Annotations accumulated for one source line."""
+
+    tags: list[str] = field(default_factory=list)
+
+    def add(self, tag: str) -> None:
+        if tag not in self.tags:
+            self.tags.append(tag)
+
+
+@dataclass
+class AnnotatedSource:
+    """The rendered guidance for one construct."""
+
+    view: ConstructView
+    recommendation: Recommendation
+    source: str
+    marks: dict[int, LineMarks]
+
+    def render(self, context: int = 2) -> str:
+        """The annotated listing: marked lines plus ``context`` lines
+        around each, with a header summarizing the verdict."""
+        rec = self.recommendation
+        header = [
+            f"=== {self.view.describe()} ===",
+            f"verdict: {rec.verdict.value.upper()}",
+        ]
+        if rec.privatize:
+            header.append("privatize before spawning: "
+                          + ", ".join(rec.privatize))
+        lines = self.source.splitlines()
+        show: set[int] = set()
+        for line_no in self.marks:
+            for nearby in range(line_no - context, line_no + context + 1):
+                if 1 <= nearby <= len(lines):
+                    show.add(nearby)
+        body: list[str] = []
+        previous = None
+        for line_no in sorted(show):
+            if previous is not None and line_no != previous + 1:
+                body.append("      ...")
+            previous = line_no
+            text = lines[line_no - 1]
+            body.append(f"{line_no:5d} | {text}")
+            marks = self.marks.get(line_no)
+            if marks is not None:
+                indent = " " * 8
+                for tag in marks.tags:
+                    body.append(f"{indent}^^^ {tag}")
+        return "\n".join(header + body)
+
+
+def annotate(report: ProfileReport, source: str, *,
+             line: int | None = None,
+             view: ConstructView | None = None) -> AnnotatedSource:
+    """Annotate ``source`` with the transformation guidance for one
+    construct — chosen by its source ``line`` or passed as a ``view``.
+
+    Raises ``ValueError`` when no profiled construct heads that line.
+    """
+    if view is None:
+        if line is None:
+            raise ValueError("need line or view")
+        candidates = report.views_at_line(line)
+        if not candidates:
+            raise ValueError(f"no profiled construct heads line {line}")
+        view = candidates[0]
+    rec = Advisor(report).assess(view)
+    program = report.program
+    marks: dict[int, LineMarks] = {}
+
+    def mark(line_no: int, tag: str) -> None:
+        marks.setdefault(line_no, LineMarks()).add(tag)
+
+    spawn_note = (f"SPAWN: run {view.name} as a future "
+                  f"(Tdur={view.tdur}, {view.instances} instance(s))")
+    if rec.verdict is Verdict.BLOCKED:
+        spawn_note = (f"DO NOT SPAWN {view.name}: "
+                      f"{len(rec.blocking_raw)} RAW edge(s) between "
+                      "instances block it")
+    mark(view.line, spawn_note)
+
+    for edge in rec.blocking_raw:
+        head_line = program.loc_of(edge.head_pc)[0]
+        tail_line = program.loc_of(edge.tail_pc)[0]
+        mark(tail_line,
+             f"BLOCKED: reads {edge.var_hint or '?'} written at line "
+             f"{head_line} only Tdep={edge.min_tdep} earlier "
+             f"(< Tdur={view.tdur})")
+
+    for edge in rec.join_hints:
+        tail_line = program.loc_of(edge.tail_pc)[0]
+        mark(tail_line,
+             f"JOIN the future before this read of "
+             f"{edge.var_hint or '?'} (RAW, Tdep={edge.min_tdep})")
+
+    for kind, action in ((DepKind.WAR, "PRIVATIZE"),
+                         (DepKind.WAW, "PRIVATIZE")):
+        for edge in view.violating(kind):
+            head_line = program.loc_of(edge.head_pc)[0]
+            tail_line = program.loc_of(edge.tail_pc)[0]
+            base = (edge.var_hint or "?").split("[")[0]
+            mark(tail_line,
+                 f"{action} {base}: {kind.value} against line "
+                 f"{head_line} (Tdep={edge.min_tdep}); give the future "
+                 "a private copy or hoist this write past the join")
+
+    return AnnotatedSource(view, rec, source, marks)
+
+
+def annotate_text(source: str, *, line: int,
+                  report: ProfileReport | None = None,
+                  context: int = 2) -> str:
+    """One-call convenience: profile ``source`` (unless a report is
+    supplied) and render the annotated listing for the construct at
+    ``line``."""
+    if report is None:
+        from repro.core.alchemist import Alchemist
+        report = Alchemist().profile(source)
+    return annotate(report, source, line=line).render(context=context)

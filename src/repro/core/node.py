@@ -1,0 +1,62 @@
+"""Construct instance nodes of the execution index tree.
+
+A node is one dynamic instance of a static construct (one call, one loop
+iteration, one execution of a conditional). Nodes form the index tree
+through their ``parent`` pointers; completed nodes stay reachable until
+the pool recycles them (lazy retirement), exactly as in the paper's
+Table I.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.constructs import StaticConstruct
+
+
+class ConstructNode:
+    """One construct instance; pooled and recycled.
+
+    ``prev``/``next`` are intrusive links used by the construct pool's
+    free list; they are meaningless while the node is on the indexing
+    stack.
+    """
+
+    __slots__ = ("static", "t_enter", "t_exit", "parent", "prev", "next")
+
+    def __init__(self) -> None:
+        self.static: StaticConstruct | None = None
+        self.t_enter = 0
+        self.t_exit = 0
+        self.parent: ConstructNode | None = None
+        self.prev: ConstructNode | None = None
+        self.next: ConstructNode | None = None
+
+    @property
+    def label(self) -> int:
+        """The construct's head pc (the paper's ``c.label``)."""
+        return self.static.pc if self.static is not None else -1
+
+    @property
+    def duration(self) -> int:
+        """Instance duration; only meaningful once completed."""
+        return self.t_exit - self.t_enter
+
+    def is_active(self) -> bool:
+        """True while the instance has not completed (Texit is reset to 0
+        on entry, per the paper's footnote to Table II)."""
+        return self.t_exit == 0
+
+    def covers(self, timestamp: int) -> bool:
+        """The validity test of Table II line 7: ``Tenter <= t <= Texit``.
+
+        The upper bound is inclusive because an access can occur at the
+        very timestamp its construct completes (a return-value write and
+        the following procedure pops share the timestamp of the ``ret``).
+        Soundness against recycling is preserved: a recycled node has
+        ``t_enter`` greater than any timestamp observed before its reuse.
+        """
+        return self.t_enter <= timestamp <= self.t_exit
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = self.static.name if self.static else "?"
+        return (f"ConstructNode({name}, enter={self.t_enter}, "
+                f"exit={self.t_exit})")

@@ -1,0 +1,64 @@
+"""The profiling algorithm (paper §III-B, Table II).
+
+Given a detected dependence edge — head access ``(pc_h, node_h, t_h)``
+and tail access ``(pc_t, t_t)`` — walk the index tree bottom-up from the
+head's enclosing construct, updating the min-Tdep profile of every
+ancestor that has *completed* and has not been recycled, and stop at the
+first still-active ancestor (for which the edge is an intra-construct
+dependence).
+
+The validity test ``Tenter <= Th <= Texit`` simultaneously rejects
+active constructs (``Texit`` is reset to 0 on entry) and recycled nodes
+(a recycled node's ``Tenter`` exceeds every timestamp observed before
+its reuse — the argument of the paper's Theorem 1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.node import ConstructNode
+from repro.core.profile_data import DepKind, EdgeStats, ProfileStore
+
+
+class DependenceProfiler:
+    """Applies Table II to each detected dependence."""
+
+    __slots__ = ("store", "edges_profiled", "updates")
+
+    def __init__(self, store: ProfileStore):
+        self.store = store
+        #: Dependence events processed (dynamic edges).
+        self.edges_profiled = 0
+        #: Construct profiles touched (tree-walk steps that updated).
+        self.updates = 0
+
+    def profile_edge(self, head_pc: int, head_node: ConstructNode,
+                     head_time: int, tail_pc: int, tail_time: int,
+                     kind: DepKind,
+                     name_of: Callable[[], str]) -> int:
+        """Record one dynamic dependence; returns #profiles updated.
+
+        ``name_of`` lazily resolves the conflicting address to a symbol —
+        it is only called when a static edge is seen for the first time.
+        """
+        self.edges_profiled += 1
+        tdep = tail_time - head_time
+        profiles = self.store.profiles
+        updated = 0
+        node = head_node
+        while node is not None and node.t_enter <= head_time <= node.t_exit:
+            profile = profiles.get(node.static.pc)
+            if profile is None:
+                profile = self.store.get_or_create(node.static)
+            key = (head_pc, tail_pc, kind)
+            stats = profile.edges.get(key)
+            if stats is None:
+                profile.edges[key] = EdgeStats(head_pc, tail_pc, kind,
+                                               tdep, 1, name_of())
+            else:
+                stats.observe(tdep)
+            updated += 1
+            node = node.parent
+        self.updates += updated
+        return updated

@@ -1,0 +1,75 @@
+"""Shadow memory: per-address access history for dependence detection.
+
+For every traced address the shadow keeps
+
+* the last write: ``(pc, construct node, timestamp)``;
+* the most recent read per static reader pc since that write.
+
+A read reports a RAW dependence from the last write. A write reports a
+WAR dependence from every recorded read and a WAW dependence from the
+previous write, then clears the read set (older reads pair with the
+previous write, whose WAR edges were already reported — keeping only the
+most recent read per static pc preserves the *minimum* Tdep per static
+edge, which is what profiles record).
+
+``clear_range`` forgets state for deallocated stack frames so address
+reuse across calls cannot fabricate dependences; the return-value cell
+is cleared separately after the caller's read.
+"""
+
+from __future__ import annotations
+
+from repro.core.node import ConstructNode
+
+#: A recorded access: (pc, construct node at access time, timestamp).
+Access = tuple[int, ConstructNode, int]
+
+
+class ShadowMemory:
+    """Address -> access history."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        # addr -> [last_write | None, {reader_pc: (node, t)}]
+        self._entries: dict[int, list] = {}
+
+    def on_read(self, addr: int, pc: int, node: ConstructNode,
+                timestamp: int) -> Access | None:
+        """Record a read; returns the RAW head (the last write), if any."""
+        entry = self._entries.get(addr)
+        if entry is None:
+            self._entries[addr] = [None, {pc: (node, timestamp)}]
+            return None
+        entry[1][pc] = (node, timestamp)
+        return entry[0]
+
+    def on_write(self, addr: int, pc: int, node: ConstructNode,
+                 timestamp: int
+                 ) -> tuple[Access | None, dict[int, tuple]]:
+        """Record a write; returns (WAW head, WAR heads by reader pc)."""
+        entry = self._entries.get(addr)
+        if entry is None:
+            self._entries[addr] = [(pc, node, timestamp), {}]
+            return None, {}
+        old_write, reads = entry
+        entry[0] = (pc, node, timestamp)
+        entry[1] = {}
+        return old_write, reads
+
+    def clear_range(self, lo: int, hi: int) -> None:
+        """Forget all state for addresses in ``[lo, hi)``."""
+        entries = self._entries
+        if hi - lo < len(entries):
+            for addr in range(lo, hi):
+                entries.pop(addr, None)
+        else:
+            for addr in [a for a in entries if lo <= a < hi]:
+                del entries[addr]
+
+    def tracked_addresses(self) -> int:
+        return len(self._entries)
+
+    def last_write(self, addr: int) -> Access | None:
+        entry = self._entries.get(addr)
+        return entry[0] if entry is not None else None

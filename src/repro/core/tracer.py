@@ -1,0 +1,93 @@
+"""Glue between the interpreter's tracing interface and the profiler.
+
+``AlchemistTracer`` owns the four runtime structures — indexing stack,
+construct pool, shadow memory, dependence profiler — and routes each
+interpreter event to them. This is the whole of Alchemist's runtime; the
+interpreter below it stands in for valgrind.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.constructs import ConstructTable
+from repro.core.indexing import IndexingStack
+from repro.core.pool import ConstructPool
+from repro.core.profile_data import DepKind, ProfileStore
+from repro.core.profiler import DependenceProfiler
+from repro.core.shadow import ShadowMemory
+from repro.runtime.memory import Memory
+from repro.runtime.tracing import Tracer
+
+
+class AlchemistTracer(Tracer):
+    """Profiles one execution; single use."""
+
+    def __init__(self, table: ConstructTable, pool_size: int = 4096,
+                 track_war_waw: bool = True):
+        self.table = table
+        self.pool = ConstructPool(pool_size)
+        self.store = ProfileStore()
+        self.stack = IndexingStack(table, self.pool, self.store)
+        self.shadow = ShadowMemory()
+        self.profiler = DependenceProfiler(self.store)
+        self.track_war_waw = track_war_waw
+        self.memory: Memory | None = None
+        self.raw_events = 0
+        self.war_events = 0
+        self.waw_events = 0
+        self.final_time = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def on_start(self, program, memory: Memory) -> None:
+        self.memory = memory
+
+    def on_finish(self, timestamp: int) -> None:
+        self.final_time = timestamp
+
+    # -- indexing events -----------------------------------------------------
+
+    def on_enter_function(self, fn_name: str, entry_pc: int,
+                          timestamp: int) -> None:
+        self.stack.enter_procedure(entry_pc, timestamp)
+
+    def on_exit_function(self, fn_name: str, timestamp: int) -> None:
+        self.stack.exit_procedure(timestamp)
+
+    def on_branch(self, pc: int, target_block: int, timestamp: int) -> None:
+        self.stack.on_branch(pc, target_block, timestamp)
+
+    def on_block_enter(self, block_id: int, timestamp: int) -> None:
+        self.stack.on_block_enter(block_id, timestamp)
+
+    # -- memory events ----------------------------------------------------------
+
+    def on_read(self, addr: int, pc: int, timestamp: int) -> None:
+        node = self.stack.stack[-1]
+        write = self.shadow.on_read(addr, pc, node, timestamp)
+        if write is not None:
+            self.raw_events += 1
+            memory = self.memory
+            self.profiler.profile_edge(
+                write[0], write[1], write[2], pc, timestamp, DepKind.RAW,
+                lambda: memory.addr_to_name(addr))
+
+    def on_write(self, addr: int, pc: int, timestamp: int) -> None:
+        node = self.stack.stack[-1]
+        waw_head, war_heads = self.shadow.on_write(addr, pc, node, timestamp)
+        if not self.track_war_waw:
+            return
+        memory = self.memory
+        if war_heads:
+            for read_pc, (read_node, read_time) in war_heads.items():
+                self.war_events += 1
+                self.profiler.profile_edge(
+                    read_pc, read_node, read_time, pc, timestamp,
+                    DepKind.WAR, lambda: memory.addr_to_name(addr))
+        if waw_head is not None:
+            self.waw_events += 1
+            self.profiler.profile_edge(
+                waw_head[0], waw_head[1], waw_head[2], pc, timestamp,
+                DepKind.WAW, lambda: memory.addr_to_name(addr))
+
+    def on_frame_free(self, lo: int, hi: int) -> None:
+        self.shadow.clear_range(lo, hi)

@@ -1,0 +1,178 @@
+"""Materialized execution index trees (the paper's Fig. 4).
+
+The profiler never stores the whole index tree — that is the point of
+the construct pool — but for understanding a program (and for teaching
+the technique) the full tree of a *small* run is exactly the right
+picture: procedures and predicates are internal nodes, loop iterations
+are siblings, and the path from the root to any node is that node's
+execution index.
+
+:class:`IndexTreeRecorder` taps the indexing stack's push/pop
+observers, so the recorded tree reflects precisely what the profiling
+rules (Fig. 5) did — including iteration-sibling placement, constructs
+closed early by ``break``/``goto``, and recursion. A node budget keeps
+accidental use on large runs from exhausting memory; the tree is
+marked truncated instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.constructs import ConstructTable, StaticConstruct
+from repro.core.tracer import AlchemistTracer
+from repro.ir.cfg import ProgramIR
+from repro.ir.lowering import compile_source
+from repro.runtime.interpreter import Interpreter
+
+#: Default cap on recorded nodes; beyond it the tree is truncated.
+DEFAULT_MAX_NODES = 100_000
+
+
+@dataclass
+class RecordedNode:
+    """One construct instance, permanently recorded."""
+
+    static: StaticConstruct
+    t_enter: int
+    t_exit: int = 0
+    children: list["RecordedNode"] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.static.name
+
+    @property
+    def duration(self) -> int:
+        return self.t_exit - self.t_enter
+
+    def walk(self):
+        """Yield (depth, node) in preorder."""
+        stack = [(0, self)]
+        while stack:
+            depth, node = stack.pop()
+            yield depth, node
+            for child in reversed(node.children):
+                stack.append((depth + 1, child))
+
+
+@dataclass
+class IndexTree:
+    """The recorded tree of one run, rooted at ``main``."""
+
+    root: RecordedNode
+    node_count: int
+    truncated: bool
+
+    def paths(self):
+        """Yield the execution index (root-to-node name list, Fig. 4's
+        bracket notation) of every node, preorder."""
+        def visit(node, prefix):
+            index = prefix + [node.name]
+            yield node, index
+            for child in node.children:
+                yield from visit(child, index)
+        yield from visit(self.root, [])
+
+    def index_of_first(self, name: str) -> list[str] | None:
+        """The index of the first instance of the named construct."""
+        for node, index in self.paths():
+            if node.name == name:
+                return index
+        return None
+
+    def instances_of(self, name: str) -> list[RecordedNode]:
+        return [node for node, _ in self.paths() if node.name == name]
+
+    def render(self, max_depth: int | None = None,
+               max_children: int = 12) -> str:
+        """ASCII tree in the style of Fig. 4's index trees."""
+        lines: list[str] = []
+        self._render_node(self.root, "", "", lines, max_depth,
+                          max_children)
+        if self.truncated:
+            lines.append(f"... truncated at {self.node_count} nodes")
+        return "\n".join(lines)
+
+    def _render_node(self, node: RecordedNode, lead: str, branch: str,
+                     lines: list[str], max_depth: int | None,
+                     max_children: int) -> None:
+        lines.append(f"{lead}{branch}{node.name} "
+                     f"[{node.t_enter}, {node.t_exit}]")
+        if max_depth is not None and max_depth <= 0:
+            if node.children:
+                lines.append(f"{lead}    ...")
+            return
+        shown = node.children[:max_children]
+        hidden = len(node.children) - len(shown)
+        child_lead = lead + ("    " if branch in ("", "`- ")
+                             else "|   ")
+        next_depth = None if max_depth is None else max_depth - 1
+        for i, child in enumerate(shown):
+            last = i == len(shown) - 1 and hidden == 0
+            self._render_node(child, child_lead,
+                              "`- " if last else "|- ",
+                              lines, next_depth, max_children)
+        if hidden:
+            lines.append(f"{child_lead}`- ... {hidden} more sibling(s)")
+
+
+class IndexTreeRecorder:
+    """Observer pair for an :class:`IndexingStack`; builds the tree."""
+
+    def __init__(self, max_nodes: int = DEFAULT_MAX_NODES):
+        self.max_nodes = max_nodes
+        self.node_count = 0
+        self.truncated = False
+        self.root: RecordedNode | None = None
+        self._stack: list[RecordedNode | None] = []
+
+    def attach(self, stack) -> None:
+        stack.push_observer = self.on_push
+        stack.pop_observer = self.on_pop
+
+    def on_push(self, static: StaticConstruct, timestamp: int) -> None:
+        if self.node_count >= self.max_nodes:
+            self.truncated = True
+            self._stack.append(None)  # placeholder to keep pops paired
+            return
+        node = RecordedNode(static, timestamp)
+        self.node_count += 1
+        parent = next((n for n in reversed(self._stack) if n is not None),
+                      None)
+        if parent is not None:
+            parent.children.append(node)
+        elif self.root is None:
+            self.root = node
+        self._stack.append(node)
+
+    def on_pop(self, node, timestamp: int) -> None:
+        recorded = self._stack.pop()
+        if recorded is not None:
+            recorded.t_exit = timestamp
+
+    def tree(self) -> IndexTree:
+        if self.root is None:
+            raise RuntimeError("no construct was ever entered")
+        return IndexTree(self.root, self.node_count, self.truncated)
+
+
+def record_index_tree(source: str | None = None, *,
+                      program: ProgramIR | None = None,
+                      max_nodes: int = DEFAULT_MAX_NODES
+                      ) -> tuple[IndexTree, AlchemistTracer]:
+    """Run a program recording its full execution index tree.
+
+    Returns ``(tree, tracer)`` — the tracer carries the ordinary
+    profile, so a single run yields both views.
+    """
+    if program is None:
+        if source is None:
+            raise ValueError("need source or program")
+        program = compile_source(source)
+    table = ConstructTable(program)
+    tracer = AlchemistTracer(table)
+    recorder = IndexTreeRecorder(max_nodes)
+    recorder.attach(tracer.stack)
+    Interpreter(program, tracer).run()
+    return recorder.tree(), tracer

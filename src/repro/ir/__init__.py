@@ -1,0 +1,27 @@
+"""Register IR and control-flow graph for MiniC.
+
+The AST is lowered to a register-based IR organized into basic blocks.
+Every executed IR instruction advances the profiler's timestamp by one —
+this is the reproduction's stand-in for the paper's "number of executed
+(binary) instructions".
+
+Public entry points::
+
+    from repro.ir import lower_program, compile_source
+
+    program_ir = compile_source(source)       # lex+parse+lower
+"""
+
+from repro.ir.cfg import BasicBlock, FunctionIR, ProgramIR
+from repro.ir.lowering import compile_source, lower_program
+from repro.ir.printer import format_function, format_program
+
+__all__ = [
+    "BasicBlock",
+    "FunctionIR",
+    "ProgramIR",
+    "lower_program",
+    "compile_source",
+    "format_function",
+    "format_program",
+]

@@ -1,0 +1,270 @@
+"""IR instruction set.
+
+Instructions operate on per-activation virtual registers (plain integers)
+and on *slots* describing where variables live:
+
+* :class:`GlobalSlot` — program-wide offset into the global segment;
+* :class:`LocalSlot` — frame-relative offset (scalars and local arrays);
+* :class:`RefSlot` — an array parameter, bound at call time to the base
+  address of the caller's array (this is how MiniC gets aliasing).
+
+Each instruction receives a globally unique ``pc`` when the program is
+assembled (:meth:`repro.ir.cfg.ProgramIR.finalize`); ``pc`` is the key the
+profiler uses for static constructs and dependence end-points, standing in
+for the paper's machine-code program counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# ---------------------------------------------------------------------------
+# Slots
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GlobalSlot:
+    """A global scalar (size 1) or array at ``offset`` in the global
+    segment. ``is_pointer`` marks ``int *p`` declarations, which changes
+    how indexing through the name lowers (indirect rather than direct)."""
+
+    offset: int
+    size: int
+    name: str
+    is_array: bool
+    is_pointer: bool = False
+
+
+@dataclass(frozen=True)
+class LocalSlot:
+    """A local scalar or array at frame-relative ``offset``."""
+
+    offset: int
+    size: int
+    name: str
+    is_array: bool
+    is_pointer: bool = False
+
+
+@dataclass(frozen=True)
+class RefSlot:
+    """An array parameter; ``ref_index`` selects the frame's binding table
+    entry holding the base address of the argument array."""
+
+    ref_index: int
+    name: str
+
+
+Slot = GlobalSlot | LocalSlot | RefSlot
+
+
+# ---------------------------------------------------------------------------
+# Instructions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Instr:
+    """Base instruction. ``pc`` and ``fn_name`` are assigned at assembly."""
+
+    line: int
+    col: int
+    pc: int = field(default=-1, init=False, compare=False)
+    fn_name: str = field(default="", init=False, compare=False)
+
+    opcode = "instr"
+
+    @property
+    def loc(self) -> tuple[int, int]:
+        return (self.line, self.col)
+
+
+@dataclass
+class Const(Instr):
+    """``dst = value``."""
+
+    dst: int = 0
+    value: int = 0
+    opcode = "const"
+
+
+@dataclass
+class Move(Instr):
+    """``dst = src`` (register copy)."""
+
+    dst: int = 0
+    src: int = 0
+    opcode = "move"
+
+
+@dataclass
+class BinOp(Instr):
+    """``dst = lhs <op> rhs`` with C-like 64-bit signed semantics."""
+
+    dst: int = 0
+    op: str = "+"
+    lhs: int = 0
+    rhs: int = 0
+    opcode = "binop"
+
+
+@dataclass
+class UnOp(Instr):
+    """``dst = <op> src`` where op is ``-``, ``~``, ``!`` or ``tobool``."""
+
+    dst: int = 0
+    op: str = "-"
+    src: int = 0
+    opcode = "unop"
+
+
+@dataclass
+class Load(Instr):
+    """``dst = slot`` (scalar) or ``dst = slot[index]`` (array element).
+
+    Emits a traced memory *read* event.
+    """
+
+    dst: int = 0
+    slot: Slot = None  # type: ignore[assignment]
+    index: int | None = None  # register holding the element index
+    opcode = "load"
+
+
+@dataclass
+class Store(Instr):
+    """``slot = src`` or ``slot[index] = src``; a traced memory *write*."""
+
+    slot: Slot = None  # type: ignore[assignment]
+    index: int | None = None
+    src: int = 0
+    opcode = "store"
+
+
+@dataclass
+class AddrOf(Instr):
+    """``dst = &slot[0]`` — materialize a variable's base address
+    (untraced; address arithmetic is not a memory access)."""
+
+    dst: int = 0
+    slot: Slot = None  # type: ignore[assignment]
+    opcode = "addrof"
+
+
+@dataclass
+class LoadInd(Instr):
+    """``dst = mem[addr]`` — indirect load through a pointer register.
+
+    The address is validated against live memory (globals, live stack,
+    live heap blocks) and emits a traced *read*, so dependences through
+    aliased pointers are observed exactly like direct accesses.
+    """
+
+    dst: int = 0
+    addr: int = 0  # register holding the word address
+    opcode = "loadind"
+
+
+@dataclass
+class StoreInd(Instr):
+    """``mem[addr] = src`` — indirect store through a pointer register;
+    a traced, validated *write*."""
+
+    addr: int = 0
+    src: int = 0
+    opcode = "storeind"
+
+
+@dataclass
+class Alloc(Instr):
+    """``dst = malloc(size)`` — allocate ``size`` words of zeroed heap.
+
+    The block is registered so indirect accesses are validity-checked and
+    reports can name heap addresses (``heap#3[k]``).
+    """
+
+    dst: int = 0
+    size: int = 0  # register holding the word count
+    opcode = "alloc"
+
+
+@dataclass
+class FreeOp(Instr):
+    """``free(src)`` — release a heap block.
+
+    The profiler is told to forget the block's shadow state, so reuse of
+    the addresses by a later ``malloc`` cannot fabricate dependences
+    (mirroring the stack-frame treatment).
+    """
+
+    src: int = 0
+    opcode = "free"
+
+
+@dataclass
+class Call(Instr):
+    """Call ``name`` with argument registers ``args``.
+
+    For value-returning callees the result is read from the callee's
+    return-value cell (a traced read attributed to this instruction's pc,
+    reproducing the paper's return-value dependences, e.g. gzip's
+    ``line 29 -> line 9, Tdep=1``) and placed in ``dst``.
+    """
+
+    dst: int | None = None
+    name: str = ""
+    args: list[int] = field(default_factory=list)
+    opcode = "call"
+
+
+@dataclass
+class Ret(Instr):
+    """Return, optionally writing ``src`` to the frame's return-value cell
+    (a traced write)."""
+
+    src: int | None = None
+    opcode = "ret"
+
+
+@dataclass
+class Branch(Instr):
+    """Conditional two-way branch on register ``cond``.
+
+    Every Branch is a *predicate* in the paper's sense and therefore heads
+    a profiled construct. ``hint`` records the syntactic origin (``while``,
+    ``for``, ``dowhile``, ``if``, ``logical``, ``ternary``) — used only for
+    reporting and for cross-validating the CFG-based loop classification.
+    """
+
+    cond: int = 0
+    then_block: int = -1
+    else_block: int = -1
+    hint: str = "if"
+    opcode = "branch"
+
+
+@dataclass
+class Jump(Instr):
+    """Unconditional jump."""
+
+    target: int = -1
+    opcode = "jump"
+
+
+@dataclass
+class Print(Instr):
+    """Print the argument registers (the only observable output of MiniC)."""
+
+    args: list[int] = field(default_factory=list)
+    opcode = "print"
+
+
+@dataclass
+class AssertOp(Instr):
+    """Trap if register ``cond`` is zero — used by test workloads."""
+
+    cond: int = 0
+    opcode = "assert"
+
+
+TERMINATORS = (Branch, Jump, Ret)

@@ -1,0 +1,91 @@
+"""Human-readable IR dumps, for debugging and golden tests."""
+
+from __future__ import annotations
+
+from repro.ir import instructions as ins
+from repro.ir.cfg import FunctionIR, ProgramIR
+
+
+def format_program(program: ProgramIR) -> str:
+    """Dump every function of ``program``."""
+    parts = []
+    if program.globals_layout:
+        lines = ["globals:"]
+        for info in program.globals_layout:
+            suffix = f"[{info.size}]" if info.is_array else ""
+            init = f" = {info.init}" if info.init is not None else ""
+            lines.append(f"  @{info.offset} {info.name}{suffix}{init}")
+        parts.append("\n".join(lines))
+    for fn in program.functions.values():
+        parts.append(format_function(fn))
+    return "\n\n".join(parts) + "\n"
+
+
+def format_function(fn: FunctionIR) -> str:
+    """Dump one function's blocks and instructions."""
+    params = ", ".join(
+        f"{p.name}[]" if p.is_array else p.name for p in fn.params)
+    header = (f"func {fn.name}({params}) "
+              f"frame={fn.frame_size} regs={fn.num_regs}")
+    lines = [header]
+    for block in fn.blocks:
+        lines.append(f"{block.label} (#{block.id}):")
+        for instr in block.instrs:
+            lines.append(f"  {instr.pc:5d}: {format_instr(instr)}")
+    return "\n".join(lines)
+
+
+def _slot_str(slot: ins.Slot) -> str:
+    if isinstance(slot, ins.GlobalSlot):
+        return f"@{slot.name}"
+    if isinstance(slot, ins.RefSlot):
+        return f"&{slot.name}"
+    return f"%{slot.name}"
+
+
+def format_instr(instr: ins.Instr) -> str:
+    """One-line rendering of a single instruction."""
+    if isinstance(instr, ins.Const):
+        return f"r{instr.dst} = {instr.value}"
+    if isinstance(instr, ins.Move):
+        return f"r{instr.dst} = r{instr.src}"
+    if isinstance(instr, ins.BinOp):
+        return f"r{instr.dst} = r{instr.lhs} {instr.op} r{instr.rhs}"
+    if isinstance(instr, ins.UnOp):
+        return f"r{instr.dst} = {instr.op} r{instr.src}"
+    if isinstance(instr, ins.Load):
+        place = _slot_str(instr.slot)
+        if instr.index is not None:
+            place += f"[r{instr.index}]"
+        return f"r{instr.dst} = load {place}"
+    if isinstance(instr, ins.Store):
+        place = _slot_str(instr.slot)
+        if instr.index is not None:
+            place += f"[r{instr.index}]"
+        return f"store {place} = r{instr.src}"
+    if isinstance(instr, ins.AddrOf):
+        return f"r{instr.dst} = addrof {_slot_str(instr.slot)}"
+    if isinstance(instr, ins.LoadInd):
+        return f"r{instr.dst} = load [r{instr.addr}]"
+    if isinstance(instr, ins.StoreInd):
+        return f"store [r{instr.addr}] = r{instr.src}"
+    if isinstance(instr, ins.Alloc):
+        return f"r{instr.dst} = alloc r{instr.size}"
+    if isinstance(instr, ins.FreeOp):
+        return f"free r{instr.src}"
+    if isinstance(instr, ins.Call):
+        args = ", ".join(f"r{a}" for a in instr.args)
+        dst = f"r{instr.dst} = " if instr.dst is not None else ""
+        return f"{dst}call {instr.name}({args})"
+    if isinstance(instr, ins.Ret):
+        return f"ret r{instr.src}" if instr.src is not None else "ret"
+    if isinstance(instr, ins.Branch):
+        return (f"br r{instr.cond} ? #{instr.then_block} : "
+                f"#{instr.else_block} [{instr.hint}]")
+    if isinstance(instr, ins.Jump):
+        return f"jmp #{instr.target}"
+    if isinstance(instr, ins.Print):
+        return "print " + ", ".join(f"r{a}" for a in instr.args)
+    if isinstance(instr, ins.AssertOp):
+        return f"assert r{instr.cond}"
+    return repr(instr)

@@ -1,0 +1,31 @@
+"""MiniC: the C-subset language substrate Alchemist profiles.
+
+The paper profiles C binaries under valgrind; this reproduction profiles
+MiniC programs executed by :mod:`repro.runtime`. MiniC keeps the parts of
+C that matter for dependence profiling — procedures, loops, conditionals,
+``break``/``continue``/``return``, globals, scalars and arrays, aliasing
+through array parameters — and drops the parts that do not (preprocessor,
+structs, dynamic allocation, varargs).
+
+Public entry points::
+
+    from repro.lang import parse_program, Lexer, Parser
+
+    program = parse_program(source)   # -> ast_nodes.Program
+"""
+
+from repro.lang.errors import CompileError, LexError, ParseError
+from repro.lang.lexer import Lexer, tokenize
+from repro.lang.parser import Parser, parse_program
+from repro.lang.pretty import pretty_print
+
+__all__ = [
+    "CompileError",
+    "LexError",
+    "ParseError",
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse_program",
+    "pretty_print",
+]

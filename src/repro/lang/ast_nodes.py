@@ -1,0 +1,322 @@
+"""AST node classes for MiniC.
+
+Nodes are plain dataclasses carrying a source position. Expression nodes
+evaluate to a 64-bit signed integer (the only value type in MiniC; arrays
+are second-class and appear only as declarations, indexed accesses, and
+by-reference arguments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Node:
+    """Base class: every node knows where it came from."""
+
+    line: int
+    col: int
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Expr(Node):
+    """Marker base for expressions."""
+
+
+@dataclass
+class IntLit(Expr):
+    """Integer literal (decimal, hex, or character constant)."""
+
+    value: int
+
+
+@dataclass
+class VarRef(Expr):
+    """Reference to a scalar variable, or an array name in argument
+    position (arrays are passed by reference)."""
+
+    name: str
+
+
+@dataclass
+class Index(Expr):
+    """Array element access ``name[index]``."""
+
+    name: str
+    index: Expr
+
+
+@dataclass
+class Call(Expr):
+    """Function or builtin call."""
+
+    name: str
+    args: list[Expr]
+
+
+@dataclass
+class Deref(Expr):
+    """Pointer dereference ``*e`` (usable as value or assignment target).
+
+    The operand evaluates to a word address; MiniC pointers are plain
+    64-bit integers holding addresses, as on the paper's target machines.
+    """
+
+    operand: Expr
+
+
+@dataclass
+class AddrOf(Expr):
+    """Address-of ``&x`` or ``&a[i]`` — yields the word address of an
+    lvalue. Interior pointers (``&window[start]``) are how gzip's
+    ``flush_block(&window[...])`` call pattern is expressed."""
+
+    operand: Expr  # VarRef, Index, or Deref
+
+
+@dataclass
+class BinOp(Expr):
+    """Strict binary operator (both operands always evaluated)."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class LogicalOp(Expr):
+    """Short-circuit ``&&`` / ``||``.
+
+    Kept distinct from :class:`BinOp` because lowering emits control flow
+    (the left operand becomes a predicate, hence a profiled construct),
+    matching C semantics and the paper's treatment of conditionals.
+    """
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class UnOp(Expr):
+    """Unary operator: ``-`` ``~`` ``!``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class CondExpr(Expr):
+    """Ternary conditional ``cond ? then : els`` (lowered to branches)."""
+
+    cond: Expr
+    then: Expr
+    els: Expr
+
+
+@dataclass
+class Assign(Expr):
+    """Assignment expression ``target = value`` or compound
+    ``target op= value``.
+
+    ``op`` is ``None`` for plain assignment, otherwise the underlying
+    binary operator (``"+"`` for ``+=`` and so on). Lowering computes the
+    target address once, so compound assignment evaluates the index
+    expression a single time, as in C.
+    """
+
+    target: Expr  # VarRef or Index
+    value: Expr
+    op: str | None = None
+
+
+@dataclass
+class IncDec(Expr):
+    """Prefix or postfix ``++``/``--`` with C value semantics."""
+
+    target: Expr  # VarRef or Index
+    op: str  # "++" or "--"
+    is_prefix: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Stmt(Node):
+    """Marker base for statements."""
+
+
+@dataclass
+class Block(Stmt):
+    """``{ ... }`` statement sequence (introduces a scope)."""
+
+    stmts: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """An expression evaluated for effect."""
+
+    expr: Expr
+
+
+@dataclass
+class VarDeclStmt(Stmt):
+    """Local declaration ``int x;`` / ``int x = e;`` / ``int a[N];`` /
+    ``int *p;``.
+
+    ``size`` is ``None`` for scalars, otherwise a constant expression for
+    the array length. ``is_pointer`` marks ``int *p`` declarations; the
+    variable then occupies one word holding an address, and ``p[i]`` and
+    ``*p`` lower to indirect accesses.
+    """
+
+    name: str
+    size: Expr | None
+    init: Expr | None
+    is_pointer: bool = False
+
+
+@dataclass
+class If(Stmt):
+    """``if``/``else`` — a non-loop predicate construct."""
+
+    cond: Expr
+    then: Stmt
+    els: Stmt | None
+
+
+@dataclass
+class While(Stmt):
+    """``while`` loop — each iteration is a construct instance."""
+
+    cond: Expr
+    body: Stmt
+
+
+@dataclass
+class DoWhile(Stmt):
+    """``do { } while ();`` loop."""
+
+    body: Stmt
+    cond: Expr
+
+
+@dataclass
+class For(Stmt):
+    """C-style ``for`` loop. Any of init/cond/step may be absent."""
+
+    init: Stmt | None
+    cond: Expr | None
+    step: Expr | None
+    body: Stmt
+
+
+@dataclass
+class Break(Stmt):
+    """``break`` out of the innermost loop."""
+
+
+@dataclass
+class Continue(Stmt):
+    """``continue`` to the step/condition of the innermost loop."""
+
+
+@dataclass
+class Return(Stmt):
+    """``return`` with optional value."""
+
+    value: Expr | None
+
+
+@dataclass
+class SwitchCase(Node):
+    """One ``case N:`` arm (or ``default:`` when ``value`` is None) with
+    the statements up to the next label. Fall-through is preserved."""
+
+    value: Expr | None
+    stmts: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Switch(Stmt):
+    """``switch`` statement. Lowered to a cascade of equality branches
+    (each a profiled non-loop predicate), with ``break`` targeting the
+    join block; fall-through between arms is supported."""
+
+    scrutinee: Expr
+    cases: list[SwitchCase] = field(default_factory=list)
+
+
+@dataclass
+class Label(Stmt):
+    """A statement label ``name:`` — a ``goto`` target."""
+
+    name: str
+
+
+@dataclass
+class Goto(Stmt):
+    """``goto name;`` — the irregular control flow (paper §III-A) that the
+    post-dominance-based indexing rules must survive."""
+
+    name: str
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Param(Node):
+    """Formal parameter. ``is_array`` marks ``int a[]`` — passed by
+    reference, giving MiniC the aliasing behaviour the paper's gzip
+    example exhibits (``flush_block(&window[...])``). ``is_pointer``
+    marks ``int *p`` — an ordinary word-sized parameter holding an
+    address, so any pointer expression can be passed."""
+
+    name: str
+    is_array: bool
+    is_pointer: bool = False
+
+
+@dataclass
+class FuncDecl(Node):
+    """Function definition. ``returns_value`` is False for ``void``."""
+
+    name: str
+    params: list[Param]
+    body: Block
+    returns_value: bool
+
+
+@dataclass
+class GlobalDecl(Node):
+    """File-scope declaration; initializer must be a constant expression."""
+
+    name: str
+    size: Expr | None
+    init: Expr | None
+    is_pointer: bool = False
+
+
+@dataclass
+class Program(Node):
+    """A whole translation unit."""
+
+    globals: list[GlobalDecl] = field(default_factory=list)
+    functions: list[FuncDecl] = field(default_factory=list)
+
+    def function(self, name: str) -> FuncDecl:
+        """Return the function named ``name`` (raises ``KeyError``)."""
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)

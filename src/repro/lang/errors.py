@@ -1,0 +1,30 @@
+"""Source-located errors raised by the MiniC frontend."""
+
+from __future__ import annotations
+
+
+class CompileError(Exception):
+    """Base class for every error produced while compiling MiniC.
+
+    Carries a source position so tools can point at the offending code.
+    """
+
+    def __init__(self, message: str, line: int = 0, col: int = 0,
+                 filename: str = "<input>"):
+        self.message = message
+        self.line = line
+        self.col = col
+        self.filename = filename
+        super().__init__(f"{filename}:{line}:{col}: {message}")
+
+
+class LexError(CompileError):
+    """An unrecognized or malformed token."""
+
+
+class ParseError(CompileError):
+    """A syntax error detected by the recursive-descent parser."""
+
+
+class SemanticError(CompileError):
+    """A name/arity/type error detected during lowering."""

@@ -1,0 +1,207 @@
+"""Hand-written lexer for MiniC.
+
+The lexer is a straightforward single-pass scanner. It understands line
+(``//``) and block (``/* */``) comments, decimal, hexadecimal and character
+literals, and the maximal-munch operator set listed in
+:mod:`repro.lang.tokens`.
+"""
+
+from __future__ import annotations
+
+from repro.lang.errors import LexError
+from repro.lang.tokens import KEYWORDS, Token, TokenType
+
+# Multi-character operators, longest first so maximal munch falls out of
+# the ordered scan below.
+_OPERATORS = [
+    ("<<=", TokenType.LSHIFT_ASSIGN),
+    (">>=", TokenType.RSHIFT_ASSIGN),
+    ("<<", TokenType.LSHIFT),
+    (">>", TokenType.RSHIFT),
+    ("<=", TokenType.LE),
+    (">=", TokenType.GE),
+    ("==", TokenType.EQ),
+    ("!=", TokenType.NE),
+    ("&&", TokenType.AND_AND),
+    ("||", TokenType.OR_OR),
+    ("+=", TokenType.PLUS_ASSIGN),
+    ("-=", TokenType.MINUS_ASSIGN),
+    ("*=", TokenType.STAR_ASSIGN),
+    ("/=", TokenType.SLASH_ASSIGN),
+    ("%=", TokenType.PERCENT_ASSIGN),
+    ("&=", TokenType.AMP_ASSIGN),
+    ("|=", TokenType.PIPE_ASSIGN),
+    ("^=", TokenType.CARET_ASSIGN),
+    ("++", TokenType.PLUS_PLUS),
+    ("--", TokenType.MINUS_MINUS),
+    ("+", TokenType.PLUS),
+    ("-", TokenType.MINUS),
+    ("*", TokenType.STAR),
+    ("/", TokenType.SLASH),
+    ("%", TokenType.PERCENT),
+    ("&", TokenType.AMP),
+    ("|", TokenType.PIPE),
+    ("^", TokenType.CARET),
+    ("~", TokenType.TILDE),
+    ("!", TokenType.BANG),
+    ("<", TokenType.LT),
+    (">", TokenType.GT),
+    ("=", TokenType.ASSIGN),
+    ("(", TokenType.LPAREN),
+    (")", TokenType.RPAREN),
+    ("{", TokenType.LBRACE),
+    ("}", TokenType.RBRACE),
+    ("[", TokenType.LBRACKET),
+    ("]", TokenType.RBRACKET),
+    (",", TokenType.COMMA),
+    (";", TokenType.SEMI),
+    ("?", TokenType.QUESTION),
+    (":", TokenType.COLON),
+]
+
+_ESCAPES = {
+    "n": 10,
+    "t": 9,
+    "r": 13,
+    "0": 0,
+    "\\": 92,
+    "'": 39,
+    '"': 34,
+}
+
+
+class Lexer:
+    """Scans MiniC source text into a list of :class:`Token`."""
+
+    def __init__(self, source: str, filename: str = "<input>"):
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def tokenize(self) -> list[Token]:
+        """Return all tokens, terminated by a single ``EOF`` token."""
+        tokens: list[Token] = []
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.source):
+                tokens.append(Token(TokenType.EOF, "eof", self.line, self.col))
+                return tokens
+            tokens.append(self._next_token())
+
+    # -- internals ---------------------------------------------------
+
+    def _error(self, message: str) -> LexError:
+        return LexError(message, self.line, self.col, self.filename)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos >= len(self.source):
+                return
+            if self.source[self.pos] == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+            self.pos += 1
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and comments; reject unterminated comments."""
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line, start_col = self.line, self.col
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise LexError("unterminated block comment",
+                                   start_line, start_col, self.filename)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        line, col = self.line, self.col
+        ch = self._peek()
+
+        if ch.isdigit():
+            return self._lex_number(line, col)
+        if ch.isalpha() or ch == "_":
+            return self._lex_ident(line, col)
+        if ch == "'":
+            return self._lex_char(line, col)
+        if ch == '"':
+            raise self._error("string literals are not part of MiniC")
+
+        for spelling, tok_type in _OPERATORS:
+            if self.source.startswith(spelling, self.pos):
+                self._advance(len(spelling))
+                return Token(tok_type, spelling, line, col)
+
+        raise self._error(f"unexpected character {ch!r}")
+
+    def _lex_number(self, line: int, col: int) -> Token:
+        start = self.pos
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            self._advance(2)
+            digits_start = self.pos
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+            if self.pos == digits_start:
+                raise self._error("hexadecimal literal needs digits")
+            value = int(self.source[start:self.pos], 16)
+        else:
+            while self._peek().isdigit():
+                self._advance()
+            value = int(self.source[start:self.pos])
+        if self._peek().isalpha() or self._peek() == "_":
+            raise self._error("identifier may not start with a digit")
+        return Token(TokenType.INT_LIT, value, line, col)
+
+    def _lex_ident(self, line: int, col: int) -> Token:
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start:self.pos]
+        keyword = KEYWORDS.get(text)
+        if keyword is not None:
+            return Token(keyword, text, line, col)
+        return Token(TokenType.IDENT, text, line, col)
+
+    def _lex_char(self, line: int, col: int) -> Token:
+        self._advance()  # opening quote
+        ch = self._peek()
+        if ch == "":
+            raise self._error("unterminated character literal")
+        if ch == "\\":
+            self._advance()
+            escape = self._peek()
+            if escape not in _ESCAPES:
+                raise self._error(f"unknown escape sequence \\{escape}")
+            value = _ESCAPES[escape]
+            self._advance()
+        else:
+            value = ord(ch)
+            self._advance()
+        if self._peek() != "'":
+            raise self._error("unterminated character literal")
+        self._advance()
+        return Token(TokenType.CHAR_LIT, value, line, col)
+
+
+def tokenize(source: str, filename: str = "<input>") -> list[Token]:
+    """Convenience wrapper: lex ``source`` and return the token list."""
+    return Lexer(source, filename).tokenize()

@@ -1,0 +1,167 @@
+"""AST pretty-printer.
+
+Emits valid MiniC source from an AST. ``parse(pretty(parse(s)))`` is
+structurally equal to ``parse(s)``, which the property tests rely on.
+Expressions are printed fully parenthesized so the round-trip never has
+to reason about precedence.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast_nodes as ast
+
+_INDENT = "    "
+
+
+def pretty_print(program: ast.Program) -> str:
+    """Render a whole program as MiniC source text."""
+    parts: list[str] = []
+    for decl in program.globals:
+        parts.append(_global_decl(decl))
+    for fn in program.functions:
+        parts.append(_function(fn))
+    return "\n".join(parts) + "\n"
+
+
+def expr_to_str(expr: ast.Expr) -> str:
+    """Render one expression (fully parenthesized)."""
+    return _expr(expr)
+
+
+def _global_decl(decl: ast.GlobalDecl) -> str:
+    star = "*" if decl.is_pointer else ""
+    text = f"int {star}{decl.name}"
+    if decl.size is not None:
+        text += f"[{_expr(decl.size)}]"
+    if decl.init is not None:
+        text += f" = {_expr(decl.init)}"
+    return text + ";"
+
+
+def _param(p: ast.Param) -> str:
+    if p.is_array:
+        return f"int {p.name}[]"
+    if p.is_pointer:
+        return f"int *{p.name}"
+    return f"int {p.name}"
+
+
+def _function(fn: ast.FuncDecl) -> str:
+    ret = "int" if fn.returns_value else "void"
+    params = ", ".join(_param(p) for p in fn.params)
+    header = f"{ret} {fn.name}({params})"
+    return header + " " + _block(fn.body, 0)
+
+
+def _block(block: ast.Block, depth: int) -> str:
+    inner = _INDENT * (depth + 1)
+    lines = ["{"]
+    for stmt in block.stmts:
+        lines.append(inner + _stmt(stmt, depth + 1))
+    lines.append(_INDENT * depth + "}")
+    return "\n".join(lines)
+
+
+def _stmt(stmt: ast.Stmt, depth: int) -> str:
+    if isinstance(stmt, ast.Block):
+        return _block(stmt, depth)
+    if isinstance(stmt, ast.ExprStmt):
+        return _expr(stmt.expr) + ";"
+    if isinstance(stmt, ast.VarDeclStmt):
+        star = "*" if stmt.is_pointer else ""
+        text = f"int {star}{stmt.name}"
+        if stmt.size is not None:
+            text += f"[{_expr(stmt.size)}]"
+        if stmt.init is not None:
+            text += f" = {_expr(stmt.init)}"
+        return text + ";"
+    if isinstance(stmt, ast.If):
+        text = f"if ({_expr(stmt.cond)}) " + _stmt_as_block(stmt.then, depth)
+        if stmt.els is not None:
+            text += " else " + _stmt_as_block(stmt.els, depth)
+        return text
+    if isinstance(stmt, ast.While):
+        return f"while ({_expr(stmt.cond)}) " + _stmt_as_block(stmt.body, depth)
+    if isinstance(stmt, ast.DoWhile):
+        return ("do " + _stmt_as_block(stmt.body, depth)
+                + f" while ({_expr(stmt.cond)});")
+    if isinstance(stmt, ast.For):
+        init = ""
+        if isinstance(stmt.init, ast.VarDeclStmt):
+            init = _stmt(stmt.init, depth)[:-1]  # strip trailing ';'
+        elif isinstance(stmt.init, ast.ExprStmt):
+            init = _expr(stmt.init.expr)
+        cond = _expr(stmt.cond) if stmt.cond is not None else ""
+        step = _expr(stmt.step) if stmt.step is not None else ""
+        return (f"for ({init}; {cond}; {step}) "
+                + _stmt_as_block(stmt.body, depth))
+    if isinstance(stmt, ast.Break):
+        return "break;"
+    if isinstance(stmt, ast.Continue):
+        return "continue;"
+    if isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            return "return;"
+        return f"return {_expr(stmt.value)};"
+    if isinstance(stmt, ast.Switch):
+        return _switch(stmt, depth)
+    if isinstance(stmt, ast.Label):
+        return f"{stmt.name}:"
+    if isinstance(stmt, ast.Goto):
+        return f"goto {stmt.name};"
+    raise TypeError(f"unknown statement {type(stmt).__name__}")
+
+
+def _switch(stmt: ast.Switch, depth: int) -> str:
+    inner = _INDENT * (depth + 1)
+    body = _INDENT * (depth + 2)
+    lines = [f"switch ({_expr(stmt.scrutinee)}) {{"]
+    for case in stmt.cases:
+        if case.value is None:
+            lines.append(inner + "default:")
+        else:
+            lines.append(inner + f"case {_expr(case.value)}:")
+        for arm_stmt in case.stmts:
+            lines.append(body + _stmt(arm_stmt, depth + 2))
+    lines.append(_INDENT * depth + "}")
+    return "\n".join(lines)
+
+
+def _stmt_as_block(stmt: ast.Stmt, depth: int) -> str:
+    """Wrap non-block statements in braces so dangling-else is unambiguous."""
+    if isinstance(stmt, ast.Block):
+        return _block(stmt, depth)
+    synthetic = ast.Block(stmt.line, stmt.col, [stmt])
+    return _block(synthetic, depth)
+
+
+def _expr(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.VarRef):
+        return expr.name
+    if isinstance(expr, ast.Index):
+        return f"{expr.name}[{_expr(expr.index)}]"
+    if isinstance(expr, ast.Call):
+        return f"{expr.name}({', '.join(_expr(a) for a in expr.args)})"
+    if isinstance(expr, ast.BinOp):
+        return f"({_expr(expr.lhs)} {expr.op} {_expr(expr.rhs)})"
+    if isinstance(expr, ast.LogicalOp):
+        return f"({_expr(expr.lhs)} {expr.op} {_expr(expr.rhs)})"
+    if isinstance(expr, ast.UnOp):
+        return f"({expr.op}{_expr(expr.operand)})"
+    if isinstance(expr, ast.CondExpr):
+        return (f"({_expr(expr.cond)} ? {_expr(expr.then)}"
+                f" : {_expr(expr.els)})")
+    if isinstance(expr, ast.Assign):
+        op = (expr.op or "") + "="
+        return f"({_expr(expr.target)} {op} {_expr(expr.value)})"
+    if isinstance(expr, ast.IncDec):
+        if expr.is_prefix:
+            return f"({expr.op}{_expr(expr.target)})"
+        return f"({_expr(expr.target)}{expr.op})"
+    if isinstance(expr, ast.Deref):
+        return f"(*{_expr(expr.operand)})"
+    if isinstance(expr, ast.AddrOf):
+        return f"(&{_expr(expr.operand)})"
+    raise TypeError(f"unknown expression {type(expr).__name__}")

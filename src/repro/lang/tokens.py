@@ -1,0 +1,131 @@
+"""Token definitions for the MiniC lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenType(enum.Enum):
+    """Every lexeme class MiniC recognizes."""
+
+    # Literals and names.
+    INT_LIT = "int_lit"
+    CHAR_LIT = "char_lit"
+    IDENT = "ident"
+
+    # Keywords.
+    KW_INT = "int"
+    KW_VOID = "void"
+    KW_IF = "if"
+    KW_ELSE = "else"
+    KW_WHILE = "while"
+    KW_DO = "do"
+    KW_FOR = "for"
+    KW_BREAK = "break"
+    KW_CONTINUE = "continue"
+    KW_RETURN = "return"
+    KW_SWITCH = "switch"
+    KW_CASE = "case"
+    KW_DEFAULT = "default"
+    KW_GOTO = "goto"
+
+    # Punctuation.
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    SEMI = ";"
+
+    # Operators.
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    AMP = "&"
+    PIPE = "|"
+    CARET = "^"
+    TILDE = "~"
+    BANG = "!"
+    LSHIFT = "<<"
+    RSHIFT = ">>"
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+    NE = "!="
+    AND_AND = "&&"
+    OR_OR = "||"
+    ASSIGN = "="
+    PLUS_ASSIGN = "+="
+    MINUS_ASSIGN = "-="
+    STAR_ASSIGN = "*="
+    SLASH_ASSIGN = "/="
+    PERCENT_ASSIGN = "%="
+    AMP_ASSIGN = "&="
+    PIPE_ASSIGN = "|="
+    CARET_ASSIGN = "^="
+    LSHIFT_ASSIGN = "<<="
+    RSHIFT_ASSIGN = ">>="
+    PLUS_PLUS = "++"
+    MINUS_MINUS = "--"
+    QUESTION = "?"
+    COLON = ":"
+
+    EOF = "eof"
+
+
+#: Reserved words, mapped to their keyword token types.
+KEYWORDS = {
+    "int": TokenType.KW_INT,
+    "void": TokenType.KW_VOID,
+    "if": TokenType.KW_IF,
+    "else": TokenType.KW_ELSE,
+    "while": TokenType.KW_WHILE,
+    "do": TokenType.KW_DO,
+    "for": TokenType.KW_FOR,
+    "break": TokenType.KW_BREAK,
+    "continue": TokenType.KW_CONTINUE,
+    "return": TokenType.KW_RETURN,
+    "switch": TokenType.KW_SWITCH,
+    "case": TokenType.KW_CASE,
+    "default": TokenType.KW_DEFAULT,
+    "goto": TokenType.KW_GOTO,
+}
+
+#: Compound assignment token -> underlying binary operator token.
+COMPOUND_ASSIGN_OPS = {
+    TokenType.PLUS_ASSIGN: TokenType.PLUS,
+    TokenType.MINUS_ASSIGN: TokenType.MINUS,
+    TokenType.STAR_ASSIGN: TokenType.STAR,
+    TokenType.SLASH_ASSIGN: TokenType.SLASH,
+    TokenType.PERCENT_ASSIGN: TokenType.PERCENT,
+    TokenType.AMP_ASSIGN: TokenType.AMP,
+    TokenType.PIPE_ASSIGN: TokenType.PIPE,
+    TokenType.CARET_ASSIGN: TokenType.CARET,
+    TokenType.LSHIFT_ASSIGN: TokenType.LSHIFT,
+    TokenType.RSHIFT_ASSIGN: TokenType.RSHIFT,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its source position.
+
+    ``value`` is the integer value for ``INT_LIT``/``CHAR_LIT`` tokens and
+    the identifier text for ``IDENT`` tokens; other token types carry their
+    spelling.
+    """
+
+    type: TokenType
+    value: object
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.col})"

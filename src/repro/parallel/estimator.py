@@ -1,0 +1,111 @@
+"""High-level speedup estimation: pick a construct, simulate, report.
+
+This is the programmatic face of the paper's §IV-B.2 "parallelization
+experience": choose the construct the profile recommends, apply the
+privatization transformations, and measure the speedup on K workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.constructs import ConstructKind, ConstructTable
+from repro.ir.cfg import ProgramIR
+from repro.ir.lowering import compile_source
+from repro.parallel.simulator import FutureSimulator, ScheduleResult
+from repro.parallel.taskgraph import TaskGraph, extract_task_graph
+
+
+@dataclass
+class SpeedupResult:
+    """Everything Table V reports about one parallelization."""
+
+    target_name: str
+    target_pc: int
+    workers: int
+    graph: TaskGraph
+    schedule: ScheduleResult
+
+    @property
+    def t_seq(self) -> int:
+        return self.schedule.t_seq
+
+    @property
+    def t_par(self) -> int:
+        return self.schedule.makespan
+
+    @property
+    def speedup(self) -> float:
+        return self.schedule.speedup
+
+    def describe(self) -> str:
+        return (f"{self.target_name}: T_seq={self.t_seq} "
+                f"T_par={self.t_par} x{self.speedup:.2f} "
+                f"({len(self.graph.tasks)} tasks on "
+                f"{self.workers} workers)")
+
+
+def find_construct(program: ProgramIR, *, line: int | None = None,
+                   fn_name: str | None = None,
+                   pc: int | None = None) -> int:
+    """Resolve a construct head pc from a source location.
+
+    Loops are preferred over conditionals at the same line, mirroring how
+    the paper names parallelized regions ("the loop on line 489").
+    """
+    table = ConstructTable(program)
+    if pc is not None:
+        if pc not in table.by_pc:
+            raise KeyError(f"pc {pc} heads no construct")
+        return pc
+    if fn_name is not None and line is None:
+        return table.procedures[fn_name].pc
+    candidates = [c for c in table.by_pc.values()
+                  if c.line == line
+                  and (fn_name is None or c.fn_name == fn_name)]
+    if not candidates:
+        raise KeyError(f"no construct at line {line}")
+    order = {ConstructKind.LOOP: 0, ConstructKind.PROCEDURE: 1,
+             ConstructKind.COND: 2}
+    candidates.sort(key=lambda c: order[c.kind])
+    return candidates[0].pc
+
+
+def estimate_speedup(source: str | None = None, *,
+                     program: ProgramIR | None = None,
+                     line: int | None = None,
+                     fn_name: str | None = None,
+                     pc: int | None = None,
+                     workers: int = 4,
+                     privatize: bool = True,
+                     private_vars: tuple[str, ...] = (),
+                     auto_induction: bool = True,
+                     spawn_overhead: int = 0) -> SpeedupResult:
+    """Simulate parallelizing the construct at ``line``/``fn_name``/``pc``.
+
+    Returns the predicted speedup of running its instances as futures on
+    ``workers`` workers. ``privatize`` drops WAR/WAW constraints (the
+    paper's private copies); ``private_vars`` names globals whose RAW
+    chains the transformation also breaks (per-thread copies that are
+    recomputed or reduced, like AES-CTR's ``ivec``); ``auto_induction``
+    exempts the loop's own control variables, which compiled code keeps
+    in registers.
+    """
+    if program is None:
+        if source is None:
+            raise ValueError("need source or program")
+        program = compile_source(source)
+    target = find_construct(program, line=line, fn_name=fn_name, pc=pc)
+    graph = extract_task_graph(program, target,
+                               private_vars=private_vars,
+                               auto_induction=auto_induction)
+    sim = FutureSimulator(workers, privatize, spawn_overhead)
+    schedule = sim.schedule(graph)
+    table = ConstructTable(program)
+    return SpeedupResult(
+        target_name=table.by_pc[target].name,
+        target_pc=target,
+        workers=workers,
+        graph=graph,
+        schedule=schedule,
+    )

@@ -1,0 +1,125 @@
+"""Discrete future-execution schedule simulation.
+
+Models the paper's execution strategy (§II, Fig. 1): the main thread
+runs the serial chain; at each point where the sequential program would
+execute an instance of the parallelized construct, the instance is
+spawned as a future onto one of K workers. A future cannot start before
+its spawn point, a free worker, and its producer tasks; a serial segment
+cannot run before the tasks it joins on (the claim points).
+
+All times are in instructions, the same clock the profiler uses, so
+``speedup = T_seq / makespan`` is directly comparable across runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.parallel.taskgraph import TaskGraph
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one simulated schedule."""
+
+    workers: int
+    t_seq: int
+    makespan: int
+    task_start: list[int] = field(default_factory=list)
+    task_finish: list[int] = field(default_factory=list)
+    #: Instructions the main thread spent blocked on joins.
+    join_stall: int = 0
+
+    @property
+    def speedup(self) -> float:
+        return self.t_seq / self.makespan if self.makespan else 1.0
+
+
+class FutureSimulator:
+    """List-scheduler over a :class:`TaskGraph`."""
+
+    def __init__(self, workers: int = 4, privatize: bool = True,
+                 spawn_overhead: int = 0):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.workers = workers
+        #: Model the paper's privatization transformations: WAR/WAW
+        #: constraints disappear (each thread gets its own copy).
+        self.privatize = privatize
+        #: Fixed cost charged to the main thread per spawn (thread pool
+        #: dispatch); 0 keeps the model purely algorithmic.
+        self.spawn_overhead = spawn_overhead
+
+    def schedule(self, graph: TaskGraph) -> ScheduleResult:
+        tasks = graph.tasks
+        count = len(tasks)
+        deps = set(graph.task_deps)
+        joins = {k: set(v) for k, v in graph.joins.items()}
+        if not self.privatize:
+            deps |= graph.anti_task_deps
+            for segment, producers in graph.anti_joins.items():
+                joins.setdefault(segment, set()).update(producers)
+
+        producers_of: dict[int, list[int]] = {}
+        for src, dst in deps:
+            producers_of.setdefault(dst, []).append(src)
+
+        finish = [0] * count
+        start = [0] * count
+        # Workers as a min-heap of free times.
+        worker_free = [0] * self.workers
+        heapq.heapify(worker_free)
+        main_clock = 0
+        join_stall = 0
+
+        for k in range(count):
+            # Serial segment k runs first; it may join on earlier tasks.
+            ready = main_clock
+            for producer in joins.get(k, ()):  # claim points
+                if finish[producer] > ready:
+                    ready = finish[producer]
+            join_stall += ready - main_clock
+            main_clock = ready + graph.serial[k]
+            # Spawn task k.
+            main_clock += self.spawn_overhead
+            earliest = main_clock
+            for producer in producers_of.get(k, ()):
+                if finish[producer] > earliest:
+                    earliest = finish[producer]
+            free = heapq.heappop(worker_free)
+            begin = max(earliest, free)
+            end = begin + tasks[k].duration
+            heapq.heappush(worker_free, end)
+            start[k] = begin
+            finish[k] = end
+
+        # Epilogue: the final serial segment, joining as required.
+        epilogue_index = count
+        ready = main_clock
+        for producer in joins.get(epilogue_index, ()):
+            if finish[producer] > ready:
+                ready = finish[producer]
+        join_stall += ready - main_clock
+        main_clock = ready + graph.serial[epilogue_index]
+        # The program is done when the main thread and every future are.
+        makespan = max([main_clock] + finish) if count else main_clock
+
+        return ScheduleResult(
+            workers=self.workers,
+            t_seq=graph.total_time,
+            makespan=makespan,
+            task_start=start,
+            task_finish=finish,
+            join_stall=join_stall,
+        )
+
+    def sweep(self, graph: TaskGraph,
+              worker_counts: list[int]) -> dict[int, ScheduleResult]:
+        """Schedule the same graph for several worker counts."""
+        results = {}
+        for workers in worker_counts:
+            sim = FutureSimulator(workers, self.privatize,
+                                  self.spawn_overhead)
+            results[workers] = sim.schedule(graph)
+        return results

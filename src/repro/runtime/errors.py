@@ -1,0 +1,21 @@
+"""Runtime errors raised by the MiniC interpreter."""
+
+from __future__ import annotations
+
+
+class MiniCRuntimeError(Exception):
+    """A trap during MiniC execution (bounds, division by zero, assert)."""
+
+    def __init__(self, message: str, pc: int = -1, line: int = 0,
+                 col: int = 0, fn_name: str = ""):
+        self.message = message
+        self.pc = pc
+        self.line = line
+        self.col = col
+        self.fn_name = fn_name
+        where = f" in {fn_name} at line {line}" if fn_name else ""
+        super().__init__(f"{message}{where}")
+
+
+class StepLimitExceeded(MiniCRuntimeError):
+    """The configured instruction budget ran out (runaway program)."""

@@ -1,0 +1,87 @@
+"""Tracer interface: the instrumentation surface of the interpreter.
+
+The interpreter calls these hooks as it executes; the Alchemist profiler
+(:mod:`repro.core.tracer`) implements them. Timestamps are the number of
+IR instructions executed so far — the reproduction's stand-in for the
+paper's dynamic instruction counts.
+
+Hook order guarantees relied on by the profiler:
+
+* ``on_enter_function`` fires before any instruction of the callee runs;
+* ``on_block_enter`` fires before the first instruction of a block when
+  control arrives via a branch or jump (not at function entry);
+* ``on_branch`` fires after the branch's condition has been read, with
+  the chosen target;
+* ``on_write`` for a return value fires before ``on_exit_function``;
+  the matching ``on_read`` (attributed to the call site) fires after it;
+* ``on_frame_free`` fires when a frame's addresses become dead; the
+  profiler must forget shadow state for that range.
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import ProgramIR
+from repro.runtime.memory import Memory
+
+
+class Tracer:
+    """No-op base tracer; subclasses override what they need."""
+
+    def on_start(self, program: ProgramIR, memory: Memory) -> None:
+        """Execution is about to begin (globals already initialized)."""
+
+    def on_enter_function(self, fn_name: str, entry_pc: int,
+                          timestamp: int) -> None:
+        """A call pushed a new activation."""
+
+    def on_exit_function(self, fn_name: str, timestamp: int) -> None:
+        """The current activation is returning."""
+
+    def on_block_enter(self, block_id: int, timestamp: int) -> None:
+        """Control transferred to the start of a block."""
+
+    def on_branch(self, pc: int, target_block: int, timestamp: int) -> None:
+        """A Branch at ``pc`` chose ``target_block``."""
+
+    def on_read(self, addr: int, pc: int, timestamp: int) -> None:
+        """A traced memory read."""
+
+    def on_write(self, addr: int, pc: int, timestamp: int) -> None:
+        """A traced memory write."""
+
+    def on_frame_free(self, lo: int, hi: int) -> None:
+        """Addresses ``[lo, hi)`` were deallocated."""
+
+    def on_finish(self, timestamp: int) -> None:
+        """Execution completed normally."""
+
+
+class NullTracer(Tracer):
+    """The baseline: no instrumentation (the paper's 'Orig.' runs)."""
+
+
+class CountingTracer(Tracer):
+    """Cheap event statistics; used by tests and the bench harness."""
+
+    def __init__(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.calls = 0
+        self.branches = 0
+        self.blocks = 0
+
+    def on_enter_function(self, fn_name: str, entry_pc: int,
+                          timestamp: int) -> None:
+        self.calls += 1
+
+    def on_block_enter(self, block_id: int, timestamp: int) -> None:
+        self.blocks += 1
+
+    def on_branch(self, pc: int, target_block: int, timestamp: int) -> None:
+        self.branches += 1
+
+    def on_read(self, addr: int, pc: int, timestamp: int) -> None:
+        self.reads += 1
+
+    def on_write(self, addr: int, pc: int, timestamp: int) -> None:
+        self.writes += 1

@@ -1,0 +1,50 @@
+"""MiniC ports of the paper's evaluation benchmarks (Table III).
+
+Each module rebuilds one benchmark's *dependence structure* — the thing
+the evaluation actually measures — at interpreter-friendly scale:
+
+========  =============================================================
+gzip      ``zip`` loop + ``flush_block`` with ``flag_buf``/``outcnt``/
+          ``bi_buf`` conflicts (Fig. 2/3, Fig. 6(a,b))
+bzip2     per-file loop and per-block loop sharing a ``bzf``-like
+          stream state (Table IV/V)
+parser    I/O-bound dictionary loop vs. parallel sentence loop
+          (Fig. 6(c))
+lisp      batch loop + ``xlload`` + recursive evaluator (Fig. 6(d))
+ogg       per-file encode loop with shared ``errors``/sample counters
+          (Table IV/V)
+aes       CTR-mode block cipher with the ``ivec`` increment chain
+          (Table IV/V)
+par2      GF(256) Reed-Solomon block loop + file loop with a
+          file-close conflict (Table IV/V)
+delaunay  worklist mesh refinement — the paper's non-parallelizable
+          control (§IV-B.1)
+========  =============================================================
+
+Two heap-centric extras (not Table III rows) exercise MiniC's pointer
+and ``malloc``/``free`` support:
+
+=========  ============================================================
+wordcount  chained-hash dictionary on the heap: serial build phase +
+           parallel query loop with a shared counter
+lisp-cons  130.li with real cons cells; per-iteration tree free/realloc
+           recycles heap addresses (shadow-clearing stress)
+=========  ============================================================
+"""
+
+from repro.workloads.base import PaperFacts, ParallelTarget, Workload
+from repro.workloads.registry import (EXTRA_ORDER, TABLE3_ORDER,
+                                      all_workloads, extra_workloads, get,
+                                      names)
+
+__all__ = [
+    "Workload",
+    "PaperFacts",
+    "ParallelTarget",
+    "get",
+    "names",
+    "all_workloads",
+    "extra_workloads",
+    "TABLE3_ORDER",
+    "EXTRA_ORDER",
+]

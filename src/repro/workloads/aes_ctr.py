@@ -1,0 +1,130 @@
+"""AES counter mode port (paper Table III row 6, Table IV row 4, Table V).
+
+The paper extracts AES-CTR from OpenSSL: the main loop reads input a
+block at a time, encrypts the counter (``ivec``) into a keystream,
+XORs it with the plaintext, and increments ``ivec`` for the next block
+(``AES_ctr128_inc``). The profile reported no blocking RAW dependences
+for the loop itself but WAW/WAR conflicts on ``ivec``; the parallel
+version gives each thread its own ``ivec``, computed from the block
+index — modeled here by ``private_vars=("ivec",)``.
+
+The cipher is a real (reduced) substitution-permutation network over
+4-word blocks with an S-box and round keys; input reading is the
+serial fraction that keeps the paper's speedup at 1.63x rather than
+4x.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import (PaperFacts, PaperSpeedup, ParallelTarget,
+                                  Workload)
+
+
+def source(blocks: int = 24, rounds: int = 8) -> str:
+    words = blocks * 4
+    return f"""\
+// AES-CTR-like: counter-mode block cipher with an ivec increment chain
+int sbox[256];
+int rkey[{rounds + 1}];
+int ivec[4];
+int inbuf[{words}];
+int outbuf[{words}];
+int ks[4];
+int in_state;
+
+void aes_init(int key) {{
+    int s = key * 2 + 1;
+    for (int i = 0; i < 256; i++) {{
+        s = (s * 1103515245 + 12345) % 2147483648;
+        sbox[i] = (s / 65536 + i * 97) % 256;
+    }}
+    for (int r = 0; r <= {rounds}; r++) {{
+        s = (s * 1103515245 + 12345) % 2147483648;
+        rkey[r] = s % 65536;
+    }}
+}}
+
+void aes_encrypt_block() {{
+    // Encrypt ivec into the keystream ks (SubBytes/ShiftRows/MixColumns
+    // flavoured SPN over four 16-bit words).
+    int w0 = ivec[0];
+    int w1 = ivec[1];
+    int w2 = ivec[2];
+    int w3 = ivec[3];
+    for (int r = 0; r < {rounds}; r++) {{
+        int k = rkey[r];
+        w0 = sbox[(w0 ^ k) & 255] | (sbox[((w0 ^ k) >> 8) & 255] << 8);
+        w1 = sbox[(w1 + k) & 255] | (sbox[((w1 + k) >> 8) & 255] << 8);
+        w2 = sbox[(w2 ^ w0) & 255] | (sbox[((w2 ^ w0) >> 8) & 255] << 8);
+        w3 = sbox[(w3 + w1) & 255] | (sbox[((w3 + w1) >> 8) & 255] << 8);
+        int t = w0;
+        w0 = w1 ^ (w2 << 1 & 65535);
+        w1 = w2 ^ (w3 << 1 & 65535);
+        w2 = w3 ^ (t << 1 & 65535);
+        w3 = t ^ rkey[r + 1];
+    }}
+    ks[0] = w0;
+    ks[1] = w1;
+    ks[2] = w2;
+    ks[3] = w3;
+}}
+
+void ctr128_inc() {{
+    ivec[3]++;
+    if (ivec[3] > 65535) {{
+        ivec[3] = 0;
+        ivec[2]++;
+        if (ivec[2] > 65535) {{
+            ivec[2] = 0;
+            ivec[1]++;
+        }}
+    }}
+}}
+
+int main() {{
+    aes_init(42);
+    // Serial input read: the loop "reads the input until it has an
+    // entire block" (the paper's serial fraction).
+    in_state = 7;
+    for (int i = 0; i < {words}; i++) {{
+        in_state = (in_state * 1103515245 + 12345) % 2147483648;
+        inbuf[i] = in_state % 65536;
+        in_state = (in_state + inbuf[i] * 3) % 2147483648;
+    }}
+    ivec[0] = 1;
+    ivec[3] = 0;
+    for (int b = 0; b < {blocks}; b++) {{ // PARALLEL-AES-CTR
+        aes_encrypt_block();
+        for (int w = 0; w < 4; w++) {{
+            outbuf[b * 4 + w] = inbuf[b * 4 + w] ^ ks[w];
+        }}
+        ctr128_inc();
+    }}
+    int crc = 0;
+    for (int j = 0; j < {words}; j++) {{
+        crc = (crc * 131 + outbuf[j]) % 1000003;
+    }}
+    print(crc, ivec[3], ivec[2]);
+    return 0;
+}}
+"""
+
+
+def build(scale: float = 1.0) -> Workload:
+    blocks = max(8, round(24 * scale))
+    return Workload(
+        name="aes",
+        description="OpenSSL AES-CTR: per-block keystream encryption "
+                    "chained through ivec",
+        source=source(blocks),
+        paper=PaperFacts("1K", 11, 2_850, 0.001, 0.396),
+        targets=[
+            ParallelTarget(
+                marker="PARALLEL-AES-CTR", fn_name="main",
+                paper_raw=0, paper_waw=7, paper_war=3,
+                private_vars=("ivec", "ks"),
+            ),
+        ],
+        paper_speedup=PaperSpeedup(9.46, 5.81),
+        expected_outputs=1,
+    )

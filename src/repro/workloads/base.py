@@ -1,0 +1,88 @@
+"""Workload descriptors shared by all benchmark ports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PaperFacts:
+    """What the paper's Table III reports for the original benchmark."""
+
+    loc: str
+    static_constructs: int
+    dynamic_constructs: int
+    orig_seconds: float
+    prof_seconds: float
+
+    @property
+    def slowdown(self) -> float:
+        return self.prof_seconds / self.orig_seconds
+
+
+@dataclass(frozen=True)
+class ParallelTarget:
+    """One location the paper parallelized (Table IV row).
+
+    ``marker`` is a substring of the target source line (markers keep
+    line numbers robust under edits). Paper conflict counts are the
+    static violating dependences Table IV reports.
+    """
+
+    marker: str
+    fn_name: str
+    paper_raw: int
+    paper_waw: int
+    paper_war: int
+    #: Globals the paper's transformation privatizes (per-thread copies).
+    private_vars: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class PaperSpeedup:
+    """Table V row."""
+
+    seq_seconds: float
+    par_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        return self.seq_seconds / self.par_seconds
+
+
+@dataclass
+class Workload:
+    """One benchmark port."""
+
+    name: str
+    description: str
+    source: str
+    paper: PaperFacts | None = None
+    targets: list[ParallelTarget] = field(default_factory=list)
+    paper_speedup: PaperSpeedup | None = None
+    #: Expected number of printed output tuples (correctness check).
+    expected_outputs: int = 1
+    workers: int = 4
+
+    @property
+    def loc(self) -> int:
+        """Non-blank source lines of the MiniC port."""
+        return sum(1 for line in self.source.splitlines() if line.strip())
+
+    def line_of(self, marker: str) -> int:
+        """1-based line number of the first source line containing
+        ``marker``. Raises ``ValueError`` if absent."""
+        for i, line in enumerate(self.source.splitlines(), start=1):
+            if marker in line:
+                return i
+        raise ValueError(f"marker {marker!r} not found in {self.name}")
+
+    def target_lines(self) -> list[tuple[ParallelTarget, int]]:
+        return [(t, self.line_of(t.marker)) for t in self.targets]
+
+    def primary_target(self) -> tuple[ParallelTarget, int]:
+        """The location used for the Table V speedup simulation."""
+        if not self.targets:
+            raise ValueError(f"{self.name} has no parallel targets")
+        target = self.targets[0]
+        return target, self.line_of(target.marker)

@@ -1,0 +1,162 @@
+"""bzip2-1.0 port (paper Table III row 2, Table IV rows 1-2, Table V).
+
+bzip2 compresses each input file separately: a loop in ``main``
+iterates over files (paper line 6932), and ``compress_stream``
+iterates over fixed-size blocks of one file (paper line 5340). Both
+loops share a ``BZFILE``-like global stream structure (``bzf_*``) —
+the WAW/WAR conflicts the paper reports — and a leftover-flushing
+``write_close`` after the block loop produces the RAW dependences the
+paper traced to ``BZ2_bzWriteClose64``.
+
+The block transform is a real move-to-front + run-length encoder, so
+per-block work dominates and the file/block loops are profitable to
+parallelize once ``bzf_*`` is privatized (paper speedup: 3.46x).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import (PaperFacts, PaperSpeedup, ParallelTarget,
+                                  Workload)
+
+
+def source(files: int = 3, blocks_per_file: int = 3,
+           block: int = 32, alphabet: int = 64) -> str:
+    outsz = files * (blocks_per_file + 1) * (block * 2 + 8) + 64
+    return f"""\
+// bzip2-like: per-file loop, per-block MTF+RLE, shared bzf stream state
+int bzf_handle;
+int bzf_total_in;
+int bzf_buf_pos;
+int bzf_mode;
+int stream_crc;
+int inbuf[{block}];
+int mtf_table[{alphabet}];
+int outbuf[{outsz}];
+int outpos;
+int file_blocks[{files}];
+int in_state;
+
+int next_byte() {{
+    in_state = (in_state * 1103515245 + 12345) % 2147483648;
+    return (in_state / 4096) % {alphabet};
+}}
+
+void read_block(int n) {{
+    for (int i = 0; i < n; i++) {{
+        inbuf[i] = next_byte();
+    }}
+    bzf_buf_pos = n;
+}}
+
+void mtf_rle_block(int n) {{
+    for (int i = 0; i < {alphabet}; i++) {{
+        mtf_table[i] = i;
+    }}
+    int run = 0;
+    int last = -1;
+    for (int i = 0; i < n; i++) {{
+        int sym = inbuf[i];
+        int rank = 0;
+        while (mtf_table[rank] != sym) {{
+            rank++;
+        }}
+        int r = rank;
+        while (r > 0) {{
+            mtf_table[r] = mtf_table[r - 1];
+            r--;
+        }}
+        mtf_table[0] = sym;
+        if (rank == last) {{
+            run++;
+            if (run == 255) {{
+                outbuf[outpos++] = 255;
+                outbuf[outpos++] = rank;
+                run = 0;
+            }}
+        }} else {{
+            if (run > 0) {{
+                outbuf[outpos++] = run;
+                outbuf[outpos++] = last;
+            }}
+            outbuf[outpos++] = rank;
+            run = 0;
+            last = rank;
+        }}
+        stream_crc = (stream_crc * 31 + rank) % 1000003;
+    }}
+    if (run > 0) {{
+        outbuf[outpos++] = run;
+        outbuf[outpos++] = last;
+    }}
+}}
+
+int compress_stream(int fileid) {{
+    bzf_mode = 2;
+    int blocks = 0;
+    int off = 0;
+    int size = {blocks_per_file} * {block};
+    while (off < size) {{ // PARALLEL-BZIP2-BLOCKS
+        int n = size - off;
+        if (n > {block}) {{
+            n = {block};
+        }}
+        read_block(n);
+        bzf_total_in += n;
+        mtf_rle_block(n);
+        blocks++;
+        off += n;
+    }}
+    // write_close: flush leftovers (BZ2_bzWriteClose64 in the paper)
+    outbuf[outpos++] = bzf_total_in & 255;
+    outbuf[outpos++] = stream_crc & 255;
+    bzf_mode = 0;
+    return blocks;
+}}
+
+int main() {{
+    for (int f = 0; f < {files}; f++) {{ // PARALLEL-BZIP2-FILES
+        bzf_handle = f + 3;
+        in_state = f * 9973 + 7;
+        file_blocks[f] = compress_stream(f);
+    }}
+    int total_blocks = 0;
+    for (int f = 0; f < {files}; f++) {{
+        total_blocks += file_blocks[f];
+    }}
+    int crc = 0;
+    for (int j = 0; j < outpos; j++) {{
+        crc = (crc * 131 + outbuf[j]) % 1000003;
+    }}
+    print(total_blocks, outpos, crc);
+    return 0;
+}}
+"""
+
+
+def build(scale: float = 1.0) -> Workload:
+    files = max(2, round(4 * scale))
+    blocks = max(2, round(3 * scale))
+    return Workload(
+        name="bzip2",
+        description="bzip2-1.0: per-file and per-block compression "
+                    "sharing a BZFILE-like stream",
+        source=source(files, blocks),
+        paper=PaperFacts("7K", 157, 134_832, 1.39, 990.8),
+        targets=[
+            ParallelTarget(
+                marker="PARALLEL-BZIP2-FILES", fn_name="main",
+                paper_raw=3, paper_waw=103, paper_war=0,
+                private_vars=("bzf_handle", "bzf_total_in", "bzf_buf_pos",
+                              "bzf_mode", "stream_crc", "inbuf",
+                              "mtf_table", "outpos", "in_state"),
+            ),
+            ParallelTarget(
+                marker="PARALLEL-BZIP2-BLOCKS", fn_name="compress_stream",
+                paper_raw=23, paper_waw=53, paper_war=63,
+                private_vars=("bzf_total_in", "bzf_buf_pos", "stream_crc",
+                              "inbuf", "mtf_table", "outpos", "in_state"),
+            ),
+        ],
+        paper_speedup=PaperSpeedup(40.92, 11.82),
+        expected_outputs=1,
+    )

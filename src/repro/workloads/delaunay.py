@@ -1,0 +1,179 @@
+"""Delaunay mesh refinement port (paper §IV-B.1, Table III row 8).
+
+The paper's negative control: refinement pops a bad triangle from a
+worklist, splits it against the shared mesh, and pushes new bad
+triangles — every iteration reads and writes the worklist cursors,
+the triangle tables and the point table, so the computation-heavy
+constructs carry hundreds of violating static RAW dependences (720 on
+the largest one) and Alchemist correctly reports the program as not
+amenable to this style of parallelization.
+
+The port runs the same worklist pattern over a synthetic quality
+metric; the split routine is deliberately spread over many distinct
+statements so the *static* violating-dependence count is large, as in
+the paper.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import PaperFacts, ParallelTarget, Workload
+
+
+def source(initial: int = 24, limit: int = 120) -> str:
+    max_tri = initial + limit * 3 + 8
+    max_pts = initial * 3 + limit + 8
+    wl = max_tri * 2
+    return f"""\
+// Delaunay-like refinement: worklist over a shared mesh
+int tri_a[{max_tri}];
+int tri_b[{max_tri}];
+int tri_c[{max_tri}];
+int tri_alive[{max_tri}];
+int ntri;
+int px[{max_pts}];
+int py[{max_pts}];
+int npts;
+int worklist[{wl}];
+int wl_head;
+int wl_tail;
+int split_count;
+int seed_state;
+
+int srand2() {{
+    seed_state = (seed_state * 1103515245 + 12345) % 2147483648;
+    return seed_state / 1024;
+}}
+
+int quality(int t) {{
+    int ax = px[tri_a[t]];
+    int ay = py[tri_a[t]];
+    int bx = px[tri_b[t]];
+    int by = py[tri_b[t]];
+    int cx = px[tri_c[t]];
+    int cy = py[tri_c[t]];
+    int ab = (ax - bx) * (ax - bx) + (ay - by) * (ay - by);
+    int bc = (bx - cx) * (bx - cx) + (by - cy) * (by - cy);
+    int ca = (cx - ax) * (cx - ax) + (cy - ay) * (cy - ay);
+    int longest = ab;
+    if (bc > longest) {{
+        longest = bc;
+    }}
+    if (ca > longest) {{
+        longest = ca;
+    }}
+    int shortest = ab;
+    if (bc < shortest) {{
+        shortest = bc;
+    }}
+    if (ca < shortest) {{
+        shortest = ca;
+    }}
+    if (shortest == 0) {{
+        shortest = 1;
+    }}
+    return longest / shortest;
+}}
+
+void push_if_bad(int t) {{
+    if (tri_alive[t] && quality(t) > 6) {{
+        worklist[wl_tail % {wl}] = t;
+        wl_tail++;
+    }}
+}}
+
+void split(int t) {{
+    // Insert the centroid and retriangulate t into three children.
+    int a = tri_a[t];
+    int b = tri_b[t];
+    int c = tri_c[t];
+    int mx = (px[a] + px[b] + px[c]) / 3 + srand2() % 5 - 2;
+    int my = (py[a] + py[b] + py[c]) / 3 + srand2() % 5 - 2;
+    int m = npts;
+    px[m] = mx;
+    py[m] = my;
+    npts++;
+    tri_alive[t] = 0;
+    int t1 = ntri;
+    tri_a[t1] = a;
+    tri_b[t1] = b;
+    tri_c[t1] = m;
+    tri_alive[t1] = 1;
+    ntri++;
+    int t2 = ntri;
+    tri_a[t2] = b;
+    tri_b[t2] = c;
+    tri_c[t2] = m;
+    tri_alive[t2] = 1;
+    ntri++;
+    int t3 = ntri;
+    tri_a[t3] = c;
+    tri_b[t3] = a;
+    tri_c[t3] = m;
+    tri_alive[t3] = 1;
+    ntri++;
+    push_if_bad(t1);
+    push_if_bad(t2);
+    push_if_bad(t3);
+    split_count++;
+}}
+
+int main() {{
+    seed_state = 1234567;
+    // Seed the initial mesh.
+    for (int i = 0; i < {initial * 3}; i++) {{
+        px[npts] = srand2() % 1000;
+        py[npts] = srand2() % 1000;
+        npts++;
+    }}
+    for (int i = 0; i < {initial}; i++) {{
+        tri_a[ntri] = i * 3;
+        tri_b[ntri] = i * 3 + 1;
+        tri_c[ntri] = i * 3 + 2;
+        tri_alive[ntri] = 1;
+        ntri++;
+    }}
+    for (int i = 0; i < {initial}; i++) {{
+        push_if_bad(i);
+    }}
+    // Refinement: every iteration conflicts with its successors through
+    // the worklist, the triangle tables and the point table.
+    int processed = 0;
+    while (wl_head != wl_tail) {{ // PARALLEL-DELAUNAY-REFINE
+        int t = worklist[wl_head % {wl}];
+        wl_head++;
+        if (tri_alive[t] == 0) {{
+            continue;
+        }}
+        if (ntri + 3 >= {max_tri} || npts + 1 >= {max_pts}) {{
+            break;
+        }}
+        split(t);
+        processed++;
+        if (processed >= {limit}) {{
+            break;
+        }}
+    }}
+    print(processed, ntri, npts, wl_tail - wl_head);
+    return 0;
+}}
+"""
+
+
+def build(scale: float = 1.0) -> Workload:
+    initial = max(12, round(24 * scale))
+    limit = max(40, round(120 * scale))
+    return Workload(
+        name="delaunay",
+        description="Delaunay refinement: the non-parallelizable "
+                    "worklist control",
+        source=source(initial, limit),
+        paper=PaperFacts("2K", 111, 14_307_332, 0.81, 266.3),
+        targets=[
+            ParallelTarget(
+                marker="PARALLEL-DELAUNAY-REFINE", fn_name="main",
+                paper_raw=-1, paper_waw=-1, paper_war=-1,
+                private_vars=(),
+            ),
+        ],
+        expected_outputs=1,
+    )

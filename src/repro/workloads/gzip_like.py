@@ -1,0 +1,131 @@
+"""gzip-1.3.5 port (paper Fig. 2/3, Fig. 6(a,b), Table III row 3).
+
+Structure mirrors the paper's running example: ``zip`` processes input
+literals one at a time into window/flag/literal buffers and calls
+``flush_block`` whenever the literal buffer fills; ``flush_block``
+encodes literals into a bit buffer (``bi_buf``/``bi_valid``), emits
+bytes through ``outbuf[outcnt++]``, resets ``last_flags`` and returns
+the literal count. The conflicts the paper highlights all exist here:
+
+* return value -> call site (``Tdep = 1``);
+* ``outcnt`` written at flush end, read right after the call (RAW+WAW);
+* ``flag_buf`` read during encoding, rewritten by the zip loop (WAR);
+* ``input_len += len`` against itself across calls (large ``Tdep``).
+
+The outer per-file loop is the paper's parallelized C1 (the loop at
+gzip line 3404); ``flush_block`` is C9.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import PaperFacts, ParallelTarget, Workload
+
+
+def source(files: int = 2, literals: int = 400) -> str:
+    """MiniC source, scaled by file count and literals per file."""
+    lbuf = 128
+    outsz = files * literals * 2 + 64 * files + 16
+    return f"""\
+// gzip-like compressor: zip loop + flush_block (paper Fig. 2)
+int window[256];
+int flag_buf[{lbuf + 8}];
+int l_buf[{lbuf}];
+int outbuf[{outsz}];
+int freq[64];
+int outcnt;
+int last_flags;
+int bi_buf;
+int bi_valid;
+int input_len;
+int in_state;
+
+int next_byte() {{
+    in_state = (in_state * 1103515245 + 12345) % 2147483648;
+    return (in_state / 65536) % 251;
+}}
+
+int flush_block(int buf[], int len) {{
+    flag_buf[last_flags] = 1;
+    input_len += len;
+    int k = 0;
+    do {{
+        int lit = buf[k];
+        int flag = flag_buf[k % {lbuf + 8}];
+        int code = freq[lit % 64] > 4 ? (lit & 31) : (lit | 256);
+        int bits = flag ? 6 : 10;
+        bi_buf = bi_buf | (code << bi_valid);
+        bi_valid += bits;
+        while (bi_valid > 7) {{
+            outbuf[outcnt++] = bi_buf & 255;
+            bi_buf = bi_buf >> 8;
+            bi_valid -= 8;
+        }}
+        k++;
+    }} while (k < len);
+    last_flags = 0;
+    outbuf[outcnt++] = bi_buf & 255;
+    return len;
+}}
+
+int zip(int seed) {{
+    in_state = seed * 77 + 1;
+    int c2 = 0;
+    while (c2 < 64) {{ freq[c2] = 0; c2++; }}
+    int processed = 0;
+    int nlit = 0;
+    int i = 0;
+    while (i < {literals}) {{
+        int c = next_byte();
+        window[i % 256] = c;
+        freq[c % 64]++;
+        l_buf[nlit] = c;
+        flag_buf[nlit] = c & 1;
+        last_flags++;
+        nlit++;
+        if (nlit == {lbuf}) {{
+            processed += flush_block(l_buf, nlit);
+            nlit = 0;
+        }}
+        i++;
+    }}
+    if (nlit > 0) {{
+        processed += flush_block(l_buf, nlit);
+    }}
+    return processed;
+}}
+
+int main() {{
+    int total = 0;
+    for (int f = 0; f < {files}; f++) {{ // PARALLEL-GZIP-FILES
+        total += zip(f);
+    }}
+    int crc = 0;
+    for (int j = 0; j < outcnt; j++) {{
+        crc = (crc * 131 + outbuf[j]) % 1000003;
+    }}
+    outbuf[outcnt++] = crc & 255;
+    print(total, outcnt, crc);
+    return 0;
+}}
+"""
+
+
+def build(scale: float = 1.0) -> Workload:
+    files = max(2, round(2 * scale))
+    literals = max(128, round(400 * scale))
+    return Workload(
+        name="gzip",
+        description="gzip-1.3.5: zip loop + flush_block bit encoder",
+        source=source(files, literals),
+        paper=PaperFacts("8K", 100, 570_897, 1.06, 280.4),
+        targets=[
+            ParallelTarget(
+                marker="PARALLEL-GZIP-FILES", fn_name="main",
+                paper_raw=-1, paper_waw=-1, paper_war=-1,
+                private_vars=("window", "flag_buf", "l_buf", "freq",
+                              "in_state", "last_flags", "bi_buf",
+                              "bi_valid", "outcnt"),
+            ),
+        ],
+        expected_outputs=1,
+    )

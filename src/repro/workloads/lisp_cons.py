@@ -1,0 +1,136 @@
+"""130.li variant with real cons cells: malloc'd trees, freed per batch.
+
+The Table III port (:mod:`repro.workloads.lisp_like`) simulates cons
+cells inside a global array because it predates MiniC's heap. This
+variant exercises the real allocator: each batch iteration builds its
+expression tree from ``malloc``'d 3-word cells, evaluates it with the
+same recursive walk, then frees the whole tree — so the next iteration
+*recycles the same heap addresses*. The profile must show the batch
+loop's cross-iteration dependences only through genuinely shared state
+(``load_state``, ``exprs_loaded``, the running total), never through
+recycled cell addresses; that discrimination is exactly what the
+shadow-memory clearing on ``free`` provides.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import ParallelTarget, Workload
+
+
+def source(batch_files: int = 5, exprs_per_file: int = 5) -> str:
+    return f"""\
+// 130.li with real cons cells: malloc'd trees, recursive eval, free
+int load_state;
+int exprs_loaded;
+int cells_live;
+
+int *cons(int tag, int left, int right) {{
+    int *cell = malloc(3);
+    cell[0] = tag;
+    cell[1] = left;
+    cell[2] = right;
+    cells_live++;
+    return cell;
+}}
+
+int load_rand() {{
+    load_state = (load_state * 1103515245 + 12345) % 2147483648;
+    return load_state / 1024;
+}}
+
+int *build_expr(int depth) {{
+    int r = load_rand();
+    if (depth == 0 || r % 5 == 0) {{
+        return cons(0, r % 100, 0); // number leaf
+    }}
+    int op = 1 + r % 4;
+    int *left = build_expr(depth - 1);
+    int *right = build_expr(depth - 1);
+    return cons(op, left, right);
+}}
+
+int *xlload(int fileid) {{
+    load_state = fileid * 7919 + 13;
+    int *root = 0;
+    int count = 0;
+    while (count < {exprs_per_file}) {{
+        root = cons(5, build_expr(3), root); // progn chain
+        count++;
+    }}
+    exprs_loaded += count;
+    return root;
+}}
+
+int xeval(int *node) {{
+    int tag = node[0];
+    if (tag == 0) {{
+        return node[1];
+    }}
+    if (tag == 5) {{
+        int value = xeval(node[1]);
+        if (node[2] != 0) {{
+            int rest = xeval(node[2]);
+            return (value + rest) % 1000003;
+        }}
+        return value;
+    }}
+    int left = xeval(node[1]);
+    int right = xeval(node[2]);
+    if (tag == 1) {{
+        return (left + right) % 1000003;
+    }}
+    if (tag == 2) {{
+        return (left - right) % 1000003;
+    }}
+    if (tag == 3) {{
+        return (left * right) % 1000003;
+    }}
+    return left < right ? left : right;
+}}
+
+void free_tree(int *node) {{
+    if (node == 0) {{
+        return;
+    }}
+    if (node[0] != 0) {{
+        free_tree(node[1]);
+        free_tree(node[2]);
+    }}
+    free(node);
+    cells_live--;
+}}
+
+int main() {{
+    int total = 0;
+    int *init = xlload(0); // initial load before the batch loop
+    total += xeval(init);
+    free_tree(init);
+    int f;
+    for (f = 0; f < {batch_files}; f++) {{ // PARALLEL-LISPCONS-BATCH
+        int *root = xlload(f + 1);
+        total = (total + xeval(root)) % 1000003;
+        free_tree(root);
+    }}
+    print(total, exprs_loaded, cells_live);
+    return 0;
+}}
+"""
+
+
+def build(scale: float = 1.0) -> Workload:
+    files = max(3, round(5 * scale))
+    exprs = max(3, round(5 * scale))
+    return Workload(
+        name="lisp-cons",
+        description=("130.li with real malloc'd cons cells; trees are "
+                     "freed per batch iteration so heap addresses recycle"),
+        source=source(files, exprs),
+        targets=[
+            ParallelTarget(
+                marker="PARALLEL-LISPCONS-BATCH", fn_name="main",
+                paper_raw=-1, paper_waw=-1, paper_war=-1,
+                private_vars=("load_state", "exprs_loaded", "cells_live"),
+            ),
+        ],
+        expected_outputs=1,
+    )

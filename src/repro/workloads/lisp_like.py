@@ -1,0 +1,126 @@
+"""130.li (XLisp) port (paper Fig. 6(d), Table III row 4).
+
+XLisp's batch loop reads expressions from files and evaluates them.
+The paper's Fig. 6(d): C2 is the batch loop (parallelized in [7]); C1
+is ``xlload``, called once *before* the loop and once per iteration —
+which is why C1 retires slightly more instructions than C2. Evaluation
+is a recursive tree walk, exercising the profiler's recursion-safe
+nesting counters.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import PaperFacts, ParallelTarget, Workload
+
+
+def source(batch_files: int = 5, nodes_per_file: int = 40) -> str:
+    # Each progn chain allocates at most 16 cons cells (a full depth-3
+    # expression tree plus the chain node) of 3 words each.
+    chains_per_file = nodes_per_file // 8
+    heap_words = (batch_files + 1) * chains_per_file * 52 + 64
+    return f"""\
+// 130.li-like: xlload builds cons-cell expression trees; xeval walks them
+int heap[{heap_words}]; // triples: [tag, left/value, right]
+int heap_top;
+int load_state;
+int gc_pressure;
+int exprs_loaded;
+
+int cons(int tag, int left, int right) {{
+    int node = heap_top;
+    heap[node] = tag;
+    heap[node + 1] = left;
+    heap[node + 2] = right;
+    heap_top += 3;
+    gc_pressure++;
+    return node;
+}}
+
+int load_rand() {{
+    load_state = (load_state * 1103515245 + 12345) % 2147483648;
+    return load_state / 1024;
+}}
+
+int build_expr(int depth) {{
+    // Parse one expression from the "file" (the load_state cursor).
+    int r = load_rand();
+    if (depth == 0 || r % 5 == 0) {{
+        return cons(0, r % 100, 0); // number leaf
+    }}
+    int op = 1 + r % 4; // + - * min
+    int left = build_expr(depth - 1);
+    int right = build_expr(depth - 1);
+    return cons(op, left, right);
+}}
+
+int xlload(int fileid) {{
+    load_state = fileid * 7919 + 13;
+    int root = 0;
+    int count = 0;
+    while (count < {nodes_per_file // 8}) {{
+        root = cons(5, build_expr(3), root); // progn chain
+        count++;
+    }}
+    exprs_loaded += count;
+    return root;
+}}
+
+int xeval(int node) {{
+    int tag = heap[node];
+    if (tag == 0) {{
+        return heap[node + 1];
+    }}
+    if (tag == 5) {{
+        int value = xeval(heap[node + 1]);
+        if (heap[node + 2] != 0) {{
+            int rest = xeval(heap[node + 2]);
+            return (value + rest) % 1000003;
+        }}
+        return value;
+    }}
+    int left = xeval(heap[node + 1]);
+    int right = xeval(heap[node + 2]);
+    if (tag == 1) {{
+        return (left + right) % 1000003;
+    }}
+    if (tag == 2) {{
+        return (left - right) % 1000003;
+    }}
+    if (tag == 3) {{
+        return (left * right) % 1000003;
+    }}
+    return left < right ? left : right;
+}}
+
+int main() {{
+    int total = 0;
+    int init = xlload(0); // initial load before the batch loop
+    total += xeval(init);
+    for (int f = 0; f < {batch_files}; f++) {{ // PARALLEL-LISP-BATCH
+        int root = xlload(f + 1);
+        total = (total + xeval(root)) % 1000003;
+    }}
+    print(total, heap_top, exprs_loaded);
+    return 0;
+}}
+"""
+
+
+def build(scale: float = 1.0) -> Workload:
+    files = max(3, round(5 * scale))
+    nodes = max(24, round(40 * scale))
+    return Workload(
+        name="130.li",
+        description="130.li: batch loop + xlload + recursive evaluator",
+        source=source(files, nodes),
+        paper=PaperFacts("15K", 190, 13_772_859, 0.12, 28.8),
+        targets=[
+            ParallelTarget(
+                marker="PARALLEL-LISP-BATCH", fn_name="main",
+                paper_raw=-1, paper_waw=-1, paper_war=-1,
+                private_vars=("load_state", "gc_pressure", "exprs_loaded",
+                              "heap_top", "heap"),
+            ),
+        ],
+        expected_outputs=1,
+    )

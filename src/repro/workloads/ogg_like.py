@@ -1,0 +1,126 @@
+"""oggenc-1.0.1 port (paper Table III row 5, Table IV row 3, Table V).
+
+Oggenc encodes WAV files to Ogg Vorbis; the paper parallelizes the
+per-file loop in ``main`` (oggenc line 802) after privatizing the
+shared ``errors`` flag and the samples-read counter — exactly the
+violating dependences its profile reported. Per-file work here is a
+real windowed-MDCT-style transform plus quantized bit packing, so the
+per-file loop dominates and the simulated speedup is near-linear
+(paper: 3.95x on 4 threads).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import (PaperFacts, PaperSpeedup, ParallelTarget,
+                                  Workload)
+
+
+def source(files: int = 4, frames: int = 3, frame: int = 24) -> str:
+    outsz = files * frames * frame + 64
+    return f"""\
+// oggenc-like: per-file encode loop with shared error/sample counters
+int errors;
+int samples_read;
+int outstream[{outsz}];
+int outlen;
+int file_bits[{files}];
+int win[{frame}];
+int pcm[{frame}];
+int spectrum[{frame}];
+int in_state;
+
+void init_window() {{
+    for (int i = 0; i < {frame}; i++) {{
+        int x = i * 255 / {frame - 1};
+        win[i] = (x * (510 - x)) / 255; // raised-cosine-ish lobe
+    }}
+}}
+
+int read_samples(int fileid, int frameid) {{
+    in_state = (fileid * 31 + frameid) * 2654435761 % 2147483648 + 99;
+    for (int i = 0; i < {frame}; i++) {{
+        in_state = (in_state * 1103515245 + 12345) % 2147483648;
+        pcm[i] = in_state % 4096 - 2048;
+    }}
+    samples_read += {frame};
+    return {frame};
+}}
+
+void forward_mdct() {{
+    for (int k = 0; k < {frame}; k++) {{
+        int acc = 0;
+        for (int j = 0; j < {frame}; j++) {{
+            int tw = win[(j + k) % {frame}] - 128;
+            acc += pcm[j] * tw / 64;
+        }}
+        spectrum[k] = acc;
+    }}
+}}
+
+int quantize_and_pack() {{
+    int bits = 0;
+    for (int k = 0; k < {frame}; k++) {{
+        int q = spectrum[k] / 256;
+        if (q > 127) {{
+            q = 127;
+            errors = errors | 1; // clipping
+        }}
+        if (q < -128) {{
+            q = -128;
+            errors = errors | 1;
+        }}
+        outstream[outlen++] = q & 255;
+        bits += q < 0 ? 8 : 7;
+    }}
+    return bits;
+}}
+
+int encode_file(int fileid) {{
+    int local_bits = 0;
+    for (int fr = 0; fr < {frames}; fr++) {{
+        read_samples(fileid, fr);
+        forward_mdct();
+        local_bits += quantize_and_pack();
+    }}
+    return local_bits;
+}}
+
+int main() {{
+    init_window();
+    for (int f = 0; f < {files}; f++) {{ // PARALLEL-OGG-FILES
+        file_bits[f] = encode_file(f);
+    }}
+    int bits = 0;
+    for (int f = 0; f < {files}; f++) {{
+        bits += file_bits[f];
+    }}
+    int crc = 0;
+    for (int j = 0; j < outlen; j++) {{
+        crc = (crc * 131 + outstream[j]) % 1000003;
+    }}
+    print(bits, outlen, samples_read, errors, crc);
+    return 0;
+}}
+"""
+
+
+def build(scale: float = 1.0) -> Workload:
+    files = max(3, round(4 * scale))
+    frames = max(2, round(3 * scale))
+    return Workload(
+        name="ogg",
+        description="oggenc-1.0.1: per-file MDCT encode with shared "
+                    "errors/sample counters",
+        source=source(files, frames),
+        paper=PaperFacts("58K", 466, 4_173_029, 0.30, 70.7),
+        targets=[
+            ParallelTarget(
+                marker="PARALLEL-OGG-FILES", fn_name="main",
+                paper_raw=6, paper_waw=30, paper_war=17,
+                private_vars=("errors", "samples_read", "outlen",
+                              "in_state", "pcm", "spectrum"),
+            ),
+        ],
+        paper_speedup=PaperSpeedup(136.27, 34.46),
+        expected_outputs=1,
+    )

@@ -1,0 +1,137 @@
+"""par2cmdline port (paper Table III row 7, Table IV rows 5-6, Table V).
+
+Par2 creates recovery archives with Reed-Solomon coding over GF(2^8).
+The paper parallelized two loops:
+
+* ``Par2Creator::OpenSourceFiles`` (line 489): per-file read +
+  checksum; its single violating RAW dependence was a file-close
+  conflict — the parallel version moves closing after the join
+  (modeled by privatizing the open-handle counter);
+* ``Par2Creator::ProcessData`` (line 887): per-recovery-block
+  GF multiply-accumulate over all source data — embarrassingly
+  parallel once the output cursor is private.
+
+GF tables are real log/antilog tables over the 0x11D polynomial; table
+construction plus file reading is the serial fraction that keeps the
+paper's speedup at 1.78x.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import (PaperFacts, PaperSpeedup, ParallelTarget,
+                                  Workload)
+
+
+def source(files: int = 4, file_words: int = 64,
+           recovery_blocks: int = 6) -> str:
+    data_words = files * file_words
+    return f"""\
+// par2-like: GF(256) Reed-Solomon recovery block computation
+int gf_exp[512];
+int gf_log[256];
+int source_data[{data_words}];
+int file_crc[{files}];
+int open_handles[{files}];
+int nopen;
+int recovery[{recovery_blocks * file_words}];
+int rec_crc[{recovery_blocks}];
+int in_state;
+
+void gf_init() {{
+    int x = 1;
+    for (int i = 0; i < 255; i++) {{
+        gf_exp[i] = x;
+        gf_log[x] = i;
+        x = x << 1;
+        if (x > 255) {{
+            x = (x ^ 285) & 255; // reduce by 0x11D
+        }}
+    }}
+    for (int i = 255; i < 512; i++) {{
+        gf_exp[i] = gf_exp[i - 255];
+    }}
+}}
+
+int gf_mul(int a, int b) {{
+    if (a == 0 || b == 0) {{
+        return 0;
+    }}
+    return gf_exp[gf_log[a] + gf_log[b]];
+}}
+
+void open_source_files() {{
+    for (int f = 0; f < {files}; f++) {{ // PARALLEL-PAR2-OPEN
+        open_handles[f] = f + 3;
+        nopen++;
+        in_state = f * 40503 + 11;
+        int crc = 0;
+        for (int i = 0; i < {file_words}; i++) {{
+            in_state = (in_state * 1103515245 + 12345) % 2147483648;
+            int byte = (in_state / 4096) % 256;
+            source_data[f * {file_words} + i] = byte;
+            crc = (crc * 31 + byte) % 1000003;
+        }}
+        file_crc[f] = crc;
+        nopen--; // file close: the conflict the paper's profile caught
+    }}
+}}
+
+void process_data() {{
+    for (int r = 0; r < {recovery_blocks}; r++) {{ // PARALLEL-PAR2-PROCESS
+        int base = r * {file_words};
+        for (int f = 0; f < {files}; f++) {{
+            int coef = gf_exp[(r * (f + 1)) % 255];
+            for (int i = 0; i < {file_words}; i++) {{
+                int prod = gf_mul(coef, source_data[f * {file_words} + i]);
+                recovery[base + i] = recovery[base + i] ^ prod;
+            }}
+        }}
+        int crc = 0;
+        for (int i = 0; i < {file_words}; i++) {{
+            crc = (crc * 31 + recovery[base + i]) % 1000003;
+        }}
+        rec_crc[r] = crc;
+    }}
+}}
+
+int main() {{
+    gf_init();
+    open_source_files();
+    process_data();
+    int total = 0;
+    for (int f = 0; f < {files}; f++) {{
+        total = (total + file_crc[f]) % 1000003;
+    }}
+    for (int r = 0; r < {recovery_blocks}; r++) {{
+        total = (total + rec_crc[r]) % 1000003;
+    }}
+    print(total, nopen);
+    return 0;
+}}
+"""
+
+
+def build(scale: float = 1.0) -> Workload:
+    files = max(3, round(4 * scale))
+    recovery = max(3, round(6 * scale))
+    return Workload(
+        name="par2",
+        description="par2cmdline: Reed-Solomon recovery blocks over "
+                    "GF(256)",
+        source=source(files, recovery_blocks=recovery),
+        paper=PaperFacts("13K", 125, 4_437, 1.95, 324.0),
+        targets=[
+            ParallelTarget(
+                marker="PARALLEL-PAR2-PROCESS", fn_name="process_data",
+                paper_raw=1, paper_waw=12, paper_war=19,
+                private_vars=("in_state",),
+            ),
+            ParallelTarget(
+                marker="PARALLEL-PAR2-OPEN", fn_name="open_source_files",
+                paper_raw=0, paper_waw=2, paper_war=12,
+                private_vars=("nopen", "in_state"),
+            ),
+        ],
+        paper_speedup=PaperSpeedup(11.25, 6.33),
+        expected_outputs=1,
+    )

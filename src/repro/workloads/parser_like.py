@@ -1,0 +1,126 @@
+"""197.parser port (paper Fig. 6(c), Table III row 1).
+
+The paper's Fig. 6(c): constructs C1 (the loop in ``read_dictionary``)
+and C2 (``read_entry``) are *larger* than the parallelized sentence
+loop C3 (parser line 1302) and show fewer violating dependences, but
+cannot be parallelized because dictionary reading is I/O bound — here,
+an input-cursor LCG chain that serializes ``read_entry`` calls. The
+sentence loop's violations are shared statistics counters, which the
+parallel version privatizes.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import PaperFacts, ParallelTarget, Workload
+
+
+def source(words: int = 220, sentences: int = 20,
+           sentence_len: int = 12) -> str:
+    hash_size = 509
+    return f"""\
+// 197.parser-like: sequential dictionary load, parallel sentence parse
+int dict_words[{words}];
+int dict_cost[{words}];
+int dict_hash[{hash_size}];
+int dict_count;
+int in_state;
+int sentences_parsed;
+int total_cost;
+int parse_errors;
+
+int read_entry() {{
+    // I/O-bound: the entry is read character by character through the
+    // same input cursor, serializing every call on its predecessor.
+    int word = 0;
+    for (int c = 0; c < 24; c++) {{
+        in_state = (in_state * 1103515245 + 12345) % 2147483648;
+        int ch = (in_state / 65536) % 96 + 32;
+        word = (word * 31 + ch) % 1000003;
+    }}
+    return word;
+}}
+
+void read_dictionary() {{
+    while (dict_count < {words}) {{ // C1: dictionary loop (I/O bound)
+        int w = read_entry();
+        int cost = (w % 7) + 1;
+        dict_words[dict_count] = w;
+        dict_cost[dict_count] = cost;
+        dict_hash[w % {hash_size}] = dict_count + 1;
+        dict_count++;
+    }}
+}}
+
+int lookup(int word) {{
+    int slot = dict_hash[word % {hash_size}];
+    if (slot == 0) {{
+        return -1;
+    }}
+    return slot - 1;
+}}
+
+int parse_sentence(int seed) {{
+    // Linkage parsing against the read-only dictionary.
+    int state = seed * 2654435761 % 2147483648 + 17;
+    int cost = 0;
+    int linked = 0;
+    for (int t = 0; t < {sentence_len}; t++) {{
+        state = (state * 1103515245 + 12345) % 2147483648;
+        int word = (state / 1024) % 1000003;
+        int idx = lookup(word);
+        if (idx >= 0) {{
+            cost += dict_cost[idx];
+            linked++;
+        }} else {{
+            // unknown word: try affix-stripped variants
+            for (int a = 1; a < 4; a++) {{
+                int alt = lookup(word / (a * 10));
+                if (alt >= 0) {{
+                    cost += dict_cost[alt] + a;
+                    linked++;
+                    break;
+                }}
+            }}
+        }}
+        // chart costs: quadratic-ish disjunct pruning
+        for (int l = 0; l < t; l++) {{
+            cost = (cost * 3 + dict_words[(word + l) % {words}] % 13) % 65521;
+        }}
+    }}
+    if (linked == 0) {{
+        parse_errors++;
+    }}
+    return cost;
+}}
+
+int main() {{
+    read_dictionary();
+    for (int s = 0; s < {sentences}; s++) {{ // PARALLEL-PARSER-SENTENCES
+        total_cost += parse_sentence(s);
+        sentences_parsed++;
+    }}
+    print(sentences_parsed, total_cost, parse_errors, dict_count);
+    return 0;
+}}
+"""
+
+
+def build(scale: float = 1.0) -> Workload:
+    words = max(60, round(220 * scale))
+    sentences = max(6, round(20 * scale))
+    return Workload(
+        name="197.parser",
+        description="197.parser: I/O-bound dictionary load vs. "
+                    "parallelizable sentence loop",
+        source=source(words, sentences),
+        paper=PaperFacts("11K", 603, 31_763_541, 1.22, 279.5),
+        targets=[
+            ParallelTarget(
+                marker="PARALLEL-PARSER-SENTENCES", fn_name="main",
+                paper_raw=-1, paper_waw=-1, paper_war=-1,
+                private_vars=("total_cost", "sentences_parsed",
+                              "parse_errors"),
+            ),
+        ],
+        expected_outputs=1,
+    )

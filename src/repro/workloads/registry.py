@@ -1,0 +1,56 @@
+"""Workload registry, ordered as the paper's Table III.
+
+Beyond the eight Table III ports, ``EXTRA_ORDER`` lists heap-centric
+workloads added once MiniC gained pointers and ``malloc``/``free`` —
+they exercise the aliasing patterns (§I) that the array-based ports
+cannot, and back the heap-related ablation benches.
+"""
+
+from __future__ import annotations
+
+from repro.workloads import (aes_ctr, bzip2_like, delaunay, gzip_like,
+                             lisp_cons, lisp_like, ogg_like, par2_like,
+                             parser_like, wordcount)
+from repro.workloads.base import Workload
+
+#: Table III row order.
+TABLE3_ORDER = ["197.parser", "bzip2", "gzip", "130.li", "ogg", "aes",
+                "par2", "delaunay"]
+
+#: Heap-centric companions (not Table III rows).
+EXTRA_ORDER = ["wordcount", "lisp-cons"]
+
+_BUILDERS = {
+    "197.parser": parser_like.build,
+    "bzip2": bzip2_like.build,
+    "gzip": gzip_like.build,
+    "130.li": lisp_like.build,
+    "ogg": ogg_like.build,
+    "aes": aes_ctr.build,
+    "par2": par2_like.build,
+    "delaunay": delaunay.build,
+    "wordcount": wordcount.build,
+    "lisp-cons": lisp_cons.build,
+}
+
+
+def names(include_extra: bool = False) -> list[str]:
+    """Workload names, Table III order (extras appended on request)."""
+    if include_extra:
+        return list(TABLE3_ORDER) + list(EXTRA_ORDER)
+    return list(TABLE3_ORDER)
+
+
+def get(name: str, scale: float = 1.0) -> Workload:
+    """Build one workload by name (KeyError on unknown names)."""
+    return _BUILDERS[name](scale)
+
+
+def all_workloads(scale: float = 1.0) -> list[Workload]:
+    """Build every Table III workload, in row order."""
+    return [get(name, scale) for name in TABLE3_ORDER]
+
+
+def extra_workloads(scale: float = 1.0) -> list[Workload]:
+    """Build the heap-centric extra workloads."""
+    return [get(name, scale) for name in EXTRA_ORDER]

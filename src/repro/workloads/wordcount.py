@@ -1,0 +1,149 @@
+"""Word-count over a malloc'd chained-hash dictionary.
+
+A heap-centric companion to the 197.parser port: the paper's parser
+builds its dictionary as a linked structure on the heap, which is
+exactly the aliasing pattern static analysis cannot disambiguate and
+dynamic profiling can (§I, "data parallelism is often not as readily
+identifiable because different memory blocks at runtime usually are
+mapped to the same abstract locations at compile time").
+
+Structure:
+
+* ``build_dictionary`` inserts pseudo-random words into a chained hash
+  table whose buckets and nodes are ``malloc``'d — a serial phase with
+  a dense dependence chain through ``table``/``nwords`` (profiled as
+  *not* parallelizable, like parser's ``read_dictionary``);
+* the query loop (``PARALLEL-WORDCOUNT-QUERY``) looks up disjoint
+  pseudo-random key streams per "document" and records one result per
+  document — parallelizable except for the shared ``lookups`` counter,
+  the privatization hint the WAR/WAW profile surfaces.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import ParallelTarget, Workload
+
+
+def source(documents: int = 8, words: int = 120,
+           queries_per_doc: int = 60) -> str:
+    return f"""\
+// wordcount: chained-hash dictionary on the heap + parallel query loop
+int NBUCKETS = 64;
+int *table;        // bucket array: table[h] holds a chain head address
+int nwords;
+int lookups;       // shared query counter (the privatization candidate)
+int results[{documents}];
+int rng_state;
+
+int next_word() {{
+    rng_state = (rng_state * 1103515245 + 12345) % 2147483648;
+    return rng_state % 500;
+}}
+
+int bucket_of(int key) {{
+    return (key * 31 + 7) % NBUCKETS;
+}}
+
+int *find(int key) {{
+    int h = bucket_of(key);
+    int *node = table[h];
+    while (node != 0) {{
+        if (node[0] == key) {{
+            return node;
+        }}
+        node = node[2];
+    }}
+    return 0;
+}}
+
+void insert(int key) {{
+    int *node = find(key);
+    if (node != 0) {{
+        node[1]++;
+        return;
+    }}
+    int *fresh = malloc(3); // [key, count, next]
+    fresh[0] = key;
+    fresh[1] = 1;
+    int h = bucket_of(key);
+    fresh[2] = table[h];
+    table[h] = fresh;
+    nwords++;
+}}
+
+void build_dictionary() {{
+    rng_state = 42;
+    int i;
+    for (i = 0; i < {words}; i++) {{ // SERIAL-WORDCOUNT-BUILD
+        insert(next_word());
+    }}
+}}
+
+int count_document(int doc) {{
+    int state = doc * 7919 + 13;
+    int found = 0;
+    int q;
+    for (q = 0; q < {queries_per_doc}; q++) {{
+        state = (state * 1103515245 + 12345) % 2147483648;
+        int *node = find(state % 500);
+        if (node != 0) {{
+            found += node[1];
+        }}
+        lookups++;
+    }}
+    return found;
+}}
+
+void destroy() {{
+    int h;
+    for (h = 0; h < NBUCKETS; h++) {{
+        int *node = table[h];
+        while (node != 0) {{
+            int *next = node[2];
+            free(node);
+            node = next;
+        }}
+    }}
+    free(table);
+}}
+
+int main() {{
+    table = malloc(NBUCKETS);
+    build_dictionary();
+    int doc;
+    for (doc = 0; doc < {documents}; doc++) {{ // PARALLEL-WORDCOUNT-QUERY
+        results[doc] = count_document(doc);
+    }}
+    int total = 0;
+    for (doc = 0; doc < {documents}; doc++) {{
+        total += results[doc];
+    }}
+    destroy();
+    print(total, nwords, lookups);
+    return 0;
+}}
+"""
+
+
+def build(scale: float = 1.0) -> Workload:
+    documents = max(4, round(8 * scale))
+    words = max(60, round(120 * scale))
+    queries = max(30, round(60 * scale))
+    return Workload(
+        name="wordcount",
+        description=("wordcount: heap-chained hash dictionary (build: "
+                     "serial; query loop: parallel with a shared counter)"),
+        source=source(documents, words, queries),
+        targets=[
+            ParallelTarget(
+                marker="PARALLEL-WORDCOUNT-QUERY", fn_name="main",
+                paper_raw=-1, paper_waw=-1, paper_war=-1,
+                private_vars=("lookups",),
+            ),
+            ParallelTarget(
+                marker="SERIAL-WORDCOUNT-BUILD", fn_name="build_dictionary",
+                paper_raw=-1, paper_waw=-1, paper_war=-1,
+            ),
+        ],
+        expected_outputs=1,
+    )

@@ -1,0 +1,119 @@
+"""Construct table tests: kinds, post-dominator ends, regions."""
+
+from repro.analysis import ConstructKind, ConstructTable
+from repro.ir import compile_source
+
+
+def table_of(source):
+    program = compile_source(source)
+    return program, ConstructTable(program)
+
+
+class TestKinds:
+    def test_every_function_is_a_procedure_construct(self):
+        program, table = table_of(
+            "void f() { } int main() { f(); return 0; }")
+        assert set(table.procedures) == {"f", "main"}
+        for fn_name, construct in table.procedures.items():
+            assert construct.kind is ConstructKind.PROCEDURE
+            assert construct.pc == program.functions[fn_name].entry_pc
+
+    def test_loop_and_cond_classification(self):
+        _, table = table_of("""
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 4; i++) {
+                if (i % 2) { s += i; }
+            }
+            while (s > 10) { s /= 2; }
+            do { s++; } while (s < 3);
+            return s;
+        }
+        """)
+        kinds = sorted((c.kind.value, c.hint) for c in table.by_pc.values()
+                       if c.kind is not ConstructKind.PROCEDURE)
+        assert kinds == [("cond", "if"), ("loop", "dowhile"),
+                         ("loop", "for"), ("loop", "while")]
+
+    def test_static_count_matches_paper_definition(self):
+        _, table = table_of("""
+        int main() {
+            int x = 0;
+            if (x) { x = 1; }
+            while (x < 5) { x++; }
+            return x;
+        }
+        """)
+        # 1 procedure + 1 if + 1 while.
+        assert table.static_count() == 3
+
+
+class TestRegions:
+    def test_if_region_is_its_arms(self):
+        program, table = table_of("""
+        int main() {
+            int x = 1;
+            if (x) { x = 2; } else { x = 3; }
+            return x;
+        }
+        """)
+        cond = next(c for c in table.by_pc.values()
+                    if c.kind is ConstructKind.COND)
+        labels = {program.blocks_by_id[b].label for b in cond.region}
+        assert any("if.then" in lbl for lbl in labels)
+        assert any("if.else" in lbl for lbl in labels)
+        assert not any("if.join" in lbl for lbl in labels)
+
+    def test_loop_region_is_loop_body(self):
+        program, table = table_of("""
+        int main() {
+            int i = 0;
+            while (i < 3) { i++; }
+            return i;
+        }
+        """)
+        loop = next(c for c in table.by_pc.values() if c.is_loop)
+        assert loop.region == loop.loop_body
+        labels = {program.blocks_by_id[b].label for b in loop.region}
+        assert not any("while.exit" in lbl for lbl in labels)
+
+    def test_region_with_return_extends_to_function_end(self):
+        program, table = table_of("""
+        int main() {
+            int i = 0;
+            while (i < 10) { if (i == 5) return i; i++; }
+            return 0;
+        }
+        """)
+        loop = next(c for c in table.by_pc.values() if c.is_loop)
+        # ipostdom is the virtual exit, so the loop's region covers every
+        # block reachable from the header.
+        assert loop.ipostdom_block is None
+        exit_label = next(b.id for b in program.main.blocks
+                          if "while.exit" in b.label)
+        assert exit_label in loop.region
+
+    def test_predicate_block_id_points_to_branch_block(self):
+        program, table = table_of("""
+        int main() {
+            int x = 2;
+            if (x > 1) { x = 0; }
+            return x;
+        }
+        """)
+        cond = next(c for c in table.by_pc.values()
+                    if c.kind is ConstructKind.COND)
+        block = program.blocks_by_id[cond.block_id]
+        assert block.terminator.pc == cond.pc
+
+    def test_ipostdom_of_if_is_join_block(self):
+        program, table = table_of("""
+        int main() {
+            int x = 1;
+            if (x) { x = 2; }
+            return x;
+        }
+        """)
+        cond = next(c for c in table.by_pc.values()
+                    if c.kind is ConstructKind.COND)
+        assert "if.join" in program.blocks_by_id[cond.ipostdom_block].label

@@ -1,0 +1,148 @@
+"""Dominator/post-dominator tests, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.dominance import (dominates, dominators_of,
+                                      immediate_dominators, post_dominators)
+from repro.ir import compile_source
+from repro.ir.cfg import VIRTUAL_EXIT
+
+
+def idoms_of_edges(edges, entry):
+    graph = {}
+    for a, b in edges:
+        graph.setdefault(a, []).append(b)
+        graph.setdefault(b, [])
+    return immediate_dominators(entry, lambda n: graph.get(n, []))
+
+
+class TestImmediateDominators:
+    def test_diamond(self):
+        edges = [(0, 1), (0, 2), (1, 3), (2, 3)]
+        idom = idoms_of_edges(edges, 0)
+        assert idom[1] == 0 and idom[2] == 0 and idom[3] == 0
+
+    def test_chain(self):
+        edges = [(0, 1), (1, 2), (2, 3)]
+        idom = idoms_of_edges(edges, 0)
+        assert idom == {0: 0, 1: 0, 2: 1, 3: 2}
+
+    def test_loop(self):
+        edges = [(0, 1), (1, 2), (2, 1), (1, 3)]
+        idom = idoms_of_edges(edges, 0)
+        assert idom[2] == 1 and idom[3] == 1
+
+    def test_unreachable_excluded(self):
+        edges = [(0, 1), (5, 6)]
+        idom = idoms_of_edges(edges, 0)
+        assert 5 not in idom and 6 not in idom
+
+    def test_dominates_helper(self):
+        edges = [(0, 1), (1, 2), (2, 3)]
+        idom = idoms_of_edges(edges, 0)
+        assert dominates(idom, 0, 0, 3)
+        assert dominates(idom, 0, 2, 3)
+        assert not dominates(idom, 0, 3, 2)
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)),
+                    min_size=1, max_size=25))
+    def test_matches_networkx(self, edges):
+        graph = nx.DiGraph()
+        graph.add_node(0)
+        graph.add_edges_from(edges)
+        reachable = nx.descendants(graph, 0) | {0}
+        # networkx >= 3.6 excludes the start node from its result.
+        expected = {k: v for k, v in
+                    nx.immediate_dominators(graph, 0).items() if k != 0}
+        got = idoms_of_edges(edges, 0)
+        assert set(got) == reachable
+        assert got[0] == 0
+        assert {k: v for k, v in got.items() if k != 0} == expected
+
+
+class TestFunctionDominance:
+    def test_post_dominators_straight_line(self):
+        program = compile_source(
+            "int main() { int x = 1; x = x + 1; return x; }")
+        ipdom = post_dominators(program.main)
+        # Single block: its post-dominator is the virtual exit.
+        (block,) = program.main.blocks
+        assert ipdom[block.id] == VIRTUAL_EXIT
+
+    def test_if_postdominated_by_join(self):
+        program = compile_source("""
+        int main() {
+            int x = 1;
+            if (x) { x = 2; } else { x = 3; }
+            return x;
+        }
+        """)
+        fn = program.main
+        ipdom = post_dominators(fn)
+        labels = {b.id: b.label for b in fn.blocks}
+        branch_block = next(b for b in fn.blocks if "entry" in b.label)
+        join = ipdom[branch_block.id]
+        assert "if.join" in labels[join]
+
+    def test_loop_with_return_postdominated_by_exit_only(self):
+        program = compile_source("""
+        int main() {
+            int i = 0;
+            while (i < 10) { if (i == 3) return i; i++; }
+            return 0;
+        }
+        """)
+        fn = program.main
+        ipdom = post_dominators(fn)
+        header = next(b for b in fn.blocks if "while.head" in b.label)
+        # A return inside the loop means nothing in the function
+        # post-dominates the header except the virtual exit.
+        assert ipdom[header.id] == VIRTUAL_EXIT
+
+    def test_forward_dominators_of_loop(self):
+        program = compile_source("""
+        int main() {
+            int i = 0;
+            while (i < 3) { i++; }
+            return i;
+        }
+        """)
+        fn = program.main
+        idom = dominators_of(fn)
+        header = next(b for b in fn.blocks if "while.head" in b.label)
+        body = next(b for b in fn.blocks if "while.body" in b.label)
+        exit_b = next(b for b in fn.blocks if "while.exit" in b.label)
+        assert idom[body.id] == header.id
+        assert idom[exit_b.id] == header.id
+
+
+class TestDualityProperty:
+    """Post-dominance on the CFG == dominance on the reversed CFG."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7)),
+                    min_size=1, max_size=20))
+    def test_postdom_is_dom_of_reverse(self, edges):
+        graph = nx.DiGraph()
+        graph.add_node(0)
+        graph.add_edges_from(edges)
+        # Add a virtual exit reachable from every sink. (A graph of only
+        # cycles has no sinks — the exit is then isolated, matching an
+        # infinite loop's empty post-dominance relation.)
+        exit_node = 99
+        graph.add_node(exit_node)
+        for node in list(graph.nodes):
+            if graph.out_degree(node) == 0 and node != exit_node:
+                graph.add_edge(node, exit_node)
+        reverse = graph.reverse()
+        expected = {k: v for k, v in
+                    nx.immediate_dominators(reverse, exit_node).items()
+                    if k != exit_node}
+        got = immediate_dominators(
+            exit_node, lambda n: list(reverse.successors(n)))
+        assert got[exit_node] == exit_node
+        assert {k: v for k, v in got.items() if k != exit_node} == expected

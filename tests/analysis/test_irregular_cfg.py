@@ -1,0 +1,180 @@
+"""Post-dominance and construct regions on irregular CFGs.
+
+`switch` cascades and `goto` jumps produce exactly the block shapes
+§III-A's post-dominance treatment exists for; these tests pin the
+static side down (the dynamic side is covered by the indexing tests).
+"""
+
+from repro.analysis.constructs import ConstructKind, ConstructTable
+from repro.analysis.dominance import post_dominators
+from repro.analysis.loops import find_loops
+from repro.ir import compile_source
+from repro.ir.cfg import VIRTUAL_EXIT
+
+
+def table_of(source: str) -> ConstructTable:
+    return ConstructTable(compile_source(source))
+
+
+class TestSwitchPostDominance:
+    SOURCE = """
+    int g;
+    int main() {
+        int y = 0;
+        switch (g) {
+            case 1: y = 1; break;
+            case 2: y = 2; break;
+            default: y = 9;
+        }
+        g = y;
+        return y;
+    }
+    """
+
+    def test_every_switch_test_postdominated_by_join(self):
+        """All cascade tests share the switch join as the place their
+        constructs end: each test's region must exclude the join."""
+        table = table_of(self.SOURCE)
+        tests = [c for c in table.by_pc.values() if c.hint == "switch"]
+        assert len(tests) == 2
+        for construct in tests:
+            assert construct.ipostdom_block is not None
+            assert construct.ipostdom_block not in construct.region
+
+    def test_fall_through_region_contains_next_arm(self):
+        source = """
+        int g;
+        int main() {
+            int y = 0;
+            switch (g) {
+                case 1: y = 1;
+                case 2: y = 2; break;
+            }
+            return y;
+        }
+        """
+        table = table_of(source)
+        tests = sorted((c for c in table.by_pc.values()
+                        if c.hint == "switch"), key=lambda c: c.pc)
+        # Case 1's body falls through into case 2's body, so the first
+        # test's region must include the second arm's blocks — which
+        # also lie in the second test's region.
+        assert tests[1].region & tests[0].region
+
+
+class TestGotoPostDominance:
+    def test_forward_goto_merges_postdominator(self):
+        source = """
+        int g;
+        int main() {
+            if (g) { goto out; }
+            g = 5;
+            out:
+            return g;
+        }
+        """
+        table = table_of(source)
+        cond = next(c for c in table.by_pc.values()
+                    if c.kind is ConstructKind.COND)
+        # Both arms reach `out`, so the conditional's construct closes
+        # at the label block.
+        assert cond.ipostdom_block is not None
+
+    def test_backward_goto_forms_natural_loop(self):
+        source = """
+        int g;
+        int main() {
+            int i = 0;
+            top:
+            g += i;
+            i++;
+            if (i < 4) { goto top; }
+            return g;
+        }
+        """
+        program = compile_source(source)
+        loops = find_loops(program.functions["main"])
+        assert len(loops) == 1
+        table = ConstructTable(program)
+        assert any(c.kind is ConstructKind.LOOP
+                   for c in table.by_pc.values())
+
+    def test_goto_skipping_loop_exit_keeps_postdominators_sound(self):
+        """Jumping out of a nested loop: every block still has a path
+        to the virtual exit, and every branch's post-dominator (when it
+        exists) is outside its region."""
+        source = """
+        int g;
+        int main() {
+            int i;
+            int j;
+            for (i = 0; i < 4; i++) {
+                for (j = 0; j < 4; j++) {
+                    g++;
+                    if (g == 7) { goto done; }
+                }
+            }
+            done:
+            return g;
+        }
+        """
+        program = compile_source(source)
+        fn = program.functions["main"]
+        ipdom = post_dominators(fn)
+        block_ids = {b.id for b in fn.blocks}
+        for block in fn.blocks:
+            post = ipdom.get(block.id)
+            assert post == VIRTUAL_EXIT or post in block_ids or post is None
+        table = ConstructTable(program)
+        for construct in table.by_pc.values():
+            if construct.ipostdom_block is not None:
+                assert construct.ipostdom_block not in construct.region
+
+
+class TestAdvisorInterproceduralContainment:
+    def test_callee_tail_counts_as_iteration_carried(self):
+        """A RAW chain through a helper called only from the loop body
+        is iteration-carried: the loop must be BLOCKED, not READY."""
+        from repro.core.advisor import Advisor, Verdict
+        from repro.core.alchemist import Alchemist
+
+        report = Alchemist().profile("""
+        int state;
+        int history[32];
+        int step(int x) {
+            state = (state * 31 + x) % 10007;
+            return state;
+        }
+        int main() {
+            int i;
+            for (i = 0; i < 20; i++) { history[i] = step(i); }
+            return state;
+        }
+        """)
+        loop = next(v for v in report.constructs()
+                    if v.static.is_loop and v.fn_name == "main")
+        rec = Advisor(report).assess(loop)
+        assert rec.verdict is Verdict.BLOCKED
+        assert any(e.var_hint == "state" for e in rec.blocking_raw)
+
+    def test_shared_helper_tail_stays_continuation(self):
+        """A helper also called from the continuation is NOT contained
+        in the loop, so an edge into it remains a join hint."""
+        from repro.core.advisor import Advisor, Verdict
+        from repro.core.alchemist import Alchemist
+
+        report = Alchemist().profile("""
+        int acc;
+        int results[16];
+        void bump(int x) { acc += x; }
+        int main() {
+            int i;
+            for (i = 0; i < 16; i++) { results[i] = i * i; }
+            bump(results[3]);
+            return acc;
+        }
+        """)
+        loop = next(v for v in report.constructs()
+                    if v.static.is_loop and v.fn_name == "main")
+        rec = Advisor(report).assess(loop)
+        assert rec.verdict is not Verdict.BLOCKED

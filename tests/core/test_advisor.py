@@ -1,0 +1,120 @@
+"""Advisor tests: verdicts and suggested transformations."""
+
+import pytest
+
+from repro.core.advisor import Advisor, Verdict
+from tests.conftest import profile
+
+
+def recommend(source, top=10, min_size=0.005):
+    report = profile(source)
+    return report, Advisor(report, min_size).recommend(top)
+
+
+class TestVerdicts:
+    def test_independent_loop_ready(self):
+        _, recs = recommend("""
+        int out[16];
+        int work(int s) {
+            int acc = s;
+            for (int i = 0; i < 60; i++) acc = (acc * 31 + i) % 65521;
+            return acc;
+        }
+        int main() {
+            for (int f = 0; f < 8; f++) out[f] = work(f);
+            print(out[7]);
+            return 0;
+        }
+        """)
+        loop = next(r for r in recs if r.view.static.is_loop
+                    and r.view.fn_name == "main")
+        assert loop.verdict is Verdict.READY
+
+    def test_chained_loop_blocked(self):
+        _, recs = recommend("""
+        int state;
+        int work(int s) {
+            int acc = s;
+            for (int i = 0; i < 60; i++) acc = (acc * 31 + i) % 65521;
+            return acc;
+        }
+        int main() {
+            for (int f = 0; f < 8; f++) state = work(state);
+            print(state);
+            return 0;
+        }
+        """)
+        loop = next(r for r in recs if r.view.static.is_loop
+                    and r.view.fn_name == "main")
+        assert loop.verdict is Verdict.BLOCKED
+        assert loop.blocking_raw
+
+    def test_war_waw_only_suggests_privatization(self):
+        _, recs = recommend("""
+        int out[16];
+        int scratch[8];
+        int work(int s) {
+            for (int i = 0; i < 8; i++) scratch[i] = s * i;
+            int acc = 0;
+            for (int i = 0; i < 8; i++) acc += scratch[i];
+            for (int i = 0; i < 40; i++) acc = (acc * 31 + i) % 65521;
+            return acc;
+        }
+        int main() {
+            for (int f = 0; f < 8; f++) out[f] = work(f);
+            print(out[3]);
+            return 0;
+        }
+        """)
+        loop = next(r for r in recs if r.view.static.is_loop
+                    and r.view.fn_name == "main")
+        assert loop.verdict is Verdict.TRANSFORM
+        assert "scratch" in loop.privatize
+
+    def test_ready_sorts_before_blocked(self):
+        _, recs = recommend("""
+        int out[16];
+        int chain;
+        int work(int s) {
+            int acc = s;
+            for (int i = 0; i < 50; i++) acc = (acc * 31 + i) % 65521;
+            return acc;
+        }
+        int main() {
+            for (int f = 0; f < 8; f++) out[f] = work(f);
+            for (int f = 0; f < 8; f++) chain = work(chain + f);
+            print(chain + out[0]);
+            return 0;
+        }
+        """)
+        orders = [r.verdict.order() for r in recs]
+        assert orders == sorted(orders)
+
+    def test_min_size_filter(self):
+        report, recs = recommend("""
+        int main() {
+            int x = 0;
+            if (x == 0) { x = 1; }
+            for (int i = 0; i < 500; i++) x = (x * 3 + i) % 1009;
+            print(x);
+            return 0;
+        }
+        """, min_size=0.2)
+        assert all(r.view.size_fraction() >= 0.2 for r in recs)
+
+    def test_describe_mentions_actions(self):
+        _, recs = recommend("""
+        int out[16];
+        int work(int s) {
+            int acc = s;
+            for (int i = 0; i < 60; i++) acc = (acc * 31 + i) % 65521;
+            return acc;
+        }
+        int main() {
+            for (int f = 0; f < 8; f++) out[f] = work(f);
+            print(out[7]);
+            return 0;
+        }
+        """)
+        text = "\n".join(r.describe() for r in recs)
+        assert "READY" in text

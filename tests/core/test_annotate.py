@@ -1,0 +1,149 @@
+"""Source-annotation tests: the paper's §II guidance, line by line."""
+
+import pytest
+
+from repro.core.advisor import Verdict
+from repro.core.alchemist import Alchemist
+from repro.core.annotate import annotate, annotate_text
+
+GZIP_MINI = """int window[64];
+int flag_buf[64];
+int outcnt;
+int last_flags;
+int outbuf[128];
+
+int flush_block(int buf[], int len) {
+    flag_buf[last_flags] = 1;
+    int k = 0;
+    int bits = 0;
+    while (k < len) {
+        bits = (bits * 31 + buf[k]) % 251;
+        outbuf[outcnt] = bits;
+        outcnt++;
+        k++;
+    }
+    last_flags = 0;
+    return len;
+}
+
+int main() {
+    int processed = 0;
+    int i = 0;
+    while (i < 48) {
+        window[i % 64] = i * 7 % 251;
+        if (i % 16 == 15) {
+            processed += flush_block(window, 16);
+        }
+        flag_buf[i % 16] = i & 1;
+        last_flags++;
+        i++;
+    }
+    print(processed, outcnt);
+    return 0;
+}
+"""
+
+SERIAL_CHAIN = """int state;
+int history[64];
+int step(int x) {
+    state = (state * 31 + x) % 10007;
+    return state;
+}
+int main() {
+    int i;
+    for (i = 0; i < 40; i++) {
+        history[i] = step(i);
+    }
+    return state;
+}
+"""
+
+
+def line_of(source: str, marker: str) -> int:
+    return next(i for i, text in enumerate(source.splitlines(), start=1)
+                if marker in text)
+
+
+@pytest.fixture(scope="module")
+def gzip_report():
+    return Alchemist().profile(GZIP_MINI)
+
+
+class TestGzipGuidance:
+    def test_spawn_marker_at_construct_head(self, gzip_report):
+        line = line_of(GZIP_MINI, "int flush_block")
+        annotated = annotate(gzip_report, GZIP_MINI, line=line)
+        assert line in annotated.marks
+        assert any("SPAWN" in tag for tag in annotated.marks[line].tags)
+
+    def test_join_at_return_value_read(self, gzip_report):
+        """The paper's `line 29 -> line 9, Tdep=1` return-value edge:
+        the call site needs a join."""
+        line = line_of(GZIP_MINI, "int flush_block")
+        annotated = annotate(gzip_report, GZIP_MINI, line=line)
+        call_line = line_of(GZIP_MINI, "processed += flush_block")
+        assert call_line in annotated.marks
+        tags = annotated.marks[call_line].tags
+        assert any("JOIN" in t and "retval" in t for t in tags)
+
+    def test_privatize_last_flags(self, gzip_report):
+        """The paper's §II transformation: hoist/privatize last_flags."""
+        line = line_of(GZIP_MINI, "int flush_block")
+        annotated = annotate(gzip_report, GZIP_MINI, line=line)
+        all_tags = [t for marks in annotated.marks.values()
+                    for t in marks.tags]
+        assert any("PRIVATIZE last_flags" in t for t in all_tags)
+
+    def test_rendered_listing_shows_marked_lines(self, gzip_report):
+        line = line_of(GZIP_MINI, "int flush_block")
+        text = annotate(gzip_report, GZIP_MINI, line=line).render()
+        assert "SPAWN" in text
+        assert "^^^" in text
+        assert "verdict:" in text
+
+    def test_render_elides_unmarked_regions(self, gzip_report):
+        line = line_of(GZIP_MINI, "int flush_block")
+        text = annotate(gzip_report, GZIP_MINI, line=line).render(
+            context=0)
+        assert "..." in text
+
+    def test_unknown_line_raises(self, gzip_report):
+        with pytest.raises(ValueError):
+            annotate(gzip_report, GZIP_MINI, line=2)  # a declaration
+
+    def test_needs_line_or_view(self, gzip_report):
+        with pytest.raises(ValueError):
+            annotate(gzip_report, GZIP_MINI)
+
+
+class TestBlockedGuidance:
+    def test_serial_chain_is_blocked(self):
+        """A loop whose iterations chain through `state` must be marked
+        DO NOT SPAWN with BLOCKED reads."""
+        line = line_of(SERIAL_CHAIN, "for (i = 0; i < 40")
+        text = annotate_text(SERIAL_CHAIN, line=line)
+        assert "DO NOT SPAWN" in text
+        assert "BLOCKED" in text
+        assert "state" in text
+
+    def test_blocked_marker_on_conflicting_read(self):
+        report = Alchemist().profile(SERIAL_CHAIN)
+        line = line_of(SERIAL_CHAIN, "for (i = 0; i < 40")
+        annotated = annotate(report, SERIAL_CHAIN, line=line)
+        assert annotated.recommendation.verdict is Verdict.BLOCKED
+        read_line = line_of(SERIAL_CHAIN, "state = (state")
+        assert any("BLOCKED" in t
+                   for t in annotated.marks[read_line].tags)
+
+
+class TestConvenience:
+    def test_annotate_text_one_call(self):
+        line = line_of(GZIP_MINI, "int flush_block")
+        text = annotate_text(GZIP_MINI, line=line)
+        assert "flush_block" in text
+
+    def test_annotate_text_reuses_report(self):
+        report = Alchemist().profile(GZIP_MINI)
+        line = line_of(GZIP_MINI, "int flush_block")
+        text = annotate_text(GZIP_MINI, line=line, report=report)
+        assert "SPAWN" in text

@@ -1,0 +1,295 @@
+"""End-to-end profiling tests.
+
+These encode the paper's worked examples: the gzip Fig. 2/3 profile
+shape, and the §III-B four-case context example showing why execution
+indexing beats context sensitivity.
+"""
+
+import pytest
+
+from repro.core.profile_data import DepKind
+from tests.conftest import profile
+
+
+def view_named(report, name):
+    for v in report.constructs():
+        if v.name == name:
+            return v
+    raise AssertionError(f"no construct named {name}: "
+                         f"{[v.name for v in report.constructs()]}")
+
+
+def loop_in(report, fn_name):
+    loops = sorted((v for v in report.constructs()
+                    if v.static.is_loop and v.fn_name == fn_name),
+                   key=lambda v: -v.total_duration)
+    assert loops, f"no loop profiled in {fn_name}"
+    return loops
+
+
+class TestGzipShape:
+    """Fig. 2 and Fig. 3 on the miniature gzip fixture."""
+
+    @pytest.fixture(autouse=True)
+    def _report(self, gzip_like_source):
+        self.report = profile(gzip_like_source)
+
+    def test_main_is_largest_and_runs_once(self):
+        top = self.report.constructs()[0]
+        assert top.name == "main"
+        assert top.instances == 1
+        assert top.total_duration == self.report.stats.instructions
+
+    def test_zip_loop_iterates_96_times(self):
+        main_loop = loop_in(self.report, "main")[0]
+        assert main_loop.instances == 96
+
+    def test_flush_block_called_four_times(self):
+        fb = view_named(self.report, "flush_block")
+        assert fb.instances == 4
+
+    def test_return_value_dependence_has_tdep_one(self):
+        """Paper: 'RAW: line 29 -> line 9, Tdep=1' — the return value."""
+        fb = view_named(self.report, "flush_block")
+        retval_edges = [e for e in fb.edges(DepKind.RAW)
+                        if e.var_hint.startswith("retval(")]
+        assert retval_edges
+        assert min(e.min_tdep for e in retval_edges) == 1
+
+    def test_outcnt_dependence_after_call(self):
+        """Paper: 'RAW: line 28 -> line 10, Tdep=3' — outcnt written at
+        the end of flush_block, read right after the call."""
+        fb = view_named(self.report, "flush_block")
+        outcnt = [e for e in fb.edges(DepKind.RAW) if e.var_hint == "outcnt"]
+        assert outcnt
+        assert min(e.min_tdep for e in outcnt) <= 20
+
+    def test_input_len_self_dependence_is_not_violating(self):
+        """Paper: 'RAW: line 14 -> line 14, Tdep=4541215' — the distance
+        between calls dwarfs the construct duration."""
+        fb = view_named(self.report, "flush_block")
+        loc = self.report.program.loc_of
+        self_edges = [e for e in fb.edges(DepKind.RAW)
+                      if e.var_hint == "input_len"
+                      and loc(e.head_pc)[0] == loc(e.tail_pc)[0]]
+        assert self_edges
+        assert all(e.min_tdep > fb.tdur for e in self_edges)
+
+    def test_waw_on_outcnt(self):
+        """Fig. 3: 'WAW: line 28 -> line 10' on outcnt."""
+        fb = view_named(self.report, "flush_block")
+        assert any(e.var_hint == "outcnt" for e in fb.edges(DepKind.WAW))
+
+    def test_war_on_flag_buf(self):
+        """Fig. 3: 'WAR: line 17 -> line 7' — flag_buf read inside
+        flush_block, rewritten later by the zip loop."""
+        fb = view_named(self.report, "flush_block")
+        war_vars = {e.var_hint.split("[")[0]
+                    for e in fb.edges(DepKind.WAR)}
+        assert "flag_buf" in war_vars
+
+    def test_waw_on_last_flags(self):
+        """Fig. 3's last_flags conflict: the reset inside flush_block and
+        the increment in the zip loop collide (here as a WAW edge; the
+        read the paper pairs it with is cleared by flush_block's own
+        reset in this miniature)."""
+        fb = view_named(self.report, "flush_block")
+        waw_vars = {e.var_hint for e in fb.edges(DepKind.WAW)}
+        assert "last_flags" in waw_vars
+
+    def test_disjoint_outbuf_writes_no_waw(self):
+        """Paper: 'there are no WAW dependences detected between writes
+        to outbuf as they write to disjoint locations'."""
+        fb = view_named(self.report, "flush_block")
+        waw_vars = {e.var_hint.split("[")[0]
+                    for e in fb.edges(DepKind.WAW)}
+        assert "outbuf" not in waw_vars
+
+    def test_pool_recycles_nodes(self):
+        assert self.report.stats.pool.reuses > 0
+
+    def test_exit_and_output(self):
+        assert self.report.exit_value == 0
+        assert len(self.report.output) == 1
+
+
+class TestContextPrecision:
+    """§III-B: four dependence placements, one calling context. Context-
+    sensitive profiling cannot tell them apart; the index tree can."""
+
+    def _profile(self, body_a, body_b):
+        source = f"""
+        int buf[64];
+        void A(int round, int i, int j) {{ {body_a} }}
+        int B(int round, int i, int j) {{ {body_b} }}
+        int sink;
+        int F(int round) {{
+            int acc = 0;
+            for (int i = 0; i < 3; i++) {{
+                for (int j = 0; j < 3; j++) {{
+                    A(round, i, j);
+                    acc += B(round, i, j);
+                }}
+            }}
+            return acc;
+        }}
+        int main() {{
+            sink = F(0);
+            sink += F(1);
+            return 0;
+        }}
+        """
+        report = profile(source)
+        loops = sorted((v for v in report.constructs()
+                        if v.static.is_loop and v.fn_name == "F"),
+                       key=lambda v: -v.total_duration)
+        outer, inner = loops[0], loops[1]
+        f_proc = view_named(report, "F")
+        a_proc = view_named(report, "A")
+
+        def has_buf_raw(v):
+            return any(e.var_hint.startswith("buf")
+                       for e in v.edges(DepKind.RAW))
+
+        return {
+            "A": has_buf_raw(a_proc),
+            "inner": has_buf_raw(inner),
+            "outer": has_buf_raw(outer),
+            "F": has_buf_raw(f_proc),
+        }
+
+    def test_case1_same_j_iteration(self):
+        got = self._profile("buf[j] = i;", "return buf[j];")
+        assert got["A"] is True       # crosses A's boundary
+        assert got["inner"] is False  # within one j-iteration
+        assert got["outer"] is False
+        assert got["F"] is False
+
+    def test_case2_crosses_j_loop_only(self):
+        # A writes slot j+1, read by B in the NEXT j iteration.
+        got = self._profile("if (j < 2) buf[j + 1] = i;",
+                            "return buf[j];")
+        assert got["inner"] is True
+        assert got["outer"] is False
+        assert got["F"] is False
+
+    def test_case3_crosses_i_loop_only(self):
+        # A writes a slot keyed by i+1, read by B in the next i iteration.
+        got = self._profile("if (j == 0 && i < 2) buf[10 + i + 1] = i;",
+                            "return buf[10 + i];")
+        assert got["outer"] is True
+        assert got["F"] is False
+
+    def test_case4_crosses_calls_to_f(self):
+        # Written during round 0, read during round 1.
+        got = self._profile("if (round == 0) buf[20 + i] = 1;",
+                            "return round == 1 ? buf[20 + i] : 0;")
+        assert got["F"] is True
+
+
+class TestLoopCarriedVsLocal:
+    def test_loop_carried_dependence_attributed_to_loop(self):
+        report = profile("""
+        int a[32];
+        int main() {
+            a[0] = 1;
+            for (int i = 1; i < 20; i++) {
+                a[i] = a[i - 1] + 1;
+            }
+            print(a[19]);
+            return 0;
+        }
+        """)
+        loop = next(v for v in report.constructs() if v.static.is_loop)
+        carried = [e for e in loop.edges(DepKind.RAW)
+                   if e.var_hint.startswith("a[")]
+        assert carried
+        # Adjacent iterations: tiny distance, violating.
+        assert any(e.min_tdep <= loop.tdur for e in carried)
+
+    def test_independent_iterations_have_no_loop_raw(self):
+        report = profile("""
+        int a[32];
+        int main() {
+            for (int i = 0; i < 20; i++) {
+                a[i] = i * i;
+            }
+            print(a[3]);
+            return 0;
+        }
+        """)
+        loop = next(v for v in report.constructs() if v.static.is_loop)
+        # The only RAW edges on `a` reach the continuation (the print
+        # after the loop) with distances far beyond one iteration; no
+        # iteration-to-iteration dependence exists.
+        buf_edges = [e for e in loop.edges(DepKind.RAW)
+                     if e.var_hint.startswith("a[")]
+        assert all(e.min_tdep > loop.tdur for e in buf_edges)
+
+    def test_scalar_accumulator_is_loop_carried(self):
+        report = profile("""
+        int total;
+        int main() {
+            for (int i = 0; i < 10; i++) {
+                total += i;
+            }
+            print(total);
+            return 0;
+        }
+        """)
+        loop = next(v for v in report.constructs() if v.static.is_loop)
+        assert any(e.var_hint == "total" for e in loop.edges(DepKind.RAW))
+
+
+class TestFrameReuseHygiene:
+    def test_no_false_deps_across_reused_frames(self):
+        """Locals of successive calls occupy the same addresses; freeing
+        the frame must prevent cross-call RAW/WAW edges on them."""
+        report = profile("""
+        int f(int n) {
+            int local = n * 2;
+            return local + 1;
+        }
+        int sink;
+        int main() {
+            for (int i = 0; i < 10; i++) sink += f(i);
+            return 0;
+        }
+        """)
+        f_view = next(v for v in report.constructs() if v.name == "f")
+        local_edges = [e for e in f_view.profile.edges.values()
+                       if "local" in e.var_hint]
+        assert local_edges == []
+
+    def test_retval_cell_does_not_leak_waw(self):
+        report = profile("""
+        int g(int n) { return n; }
+        int sink;
+        int main() {
+            for (int i = 0; i < 8; i++) sink += g(i);
+            return 0;
+        }
+        """)
+        g_view = next(v for v in report.constructs() if v.name == "g")
+        retval_waw = [e for e in g_view.edges(DepKind.WAW)
+                      if e.var_hint.startswith("retval")]
+        assert retval_waw == []
+
+
+class TestOptions:
+    def test_war_waw_tracking_can_be_disabled(self, gzip_like_source):
+        report = profile(gzip_like_source, track_war_waw=False)
+        assert report.stats.war_events == 0
+        assert report.stats.waw_events == 0
+        assert report.stats.raw_events > 0
+
+    def test_profile_is_deterministic(self, gzip_like_source):
+        first = profile(gzip_like_source)
+        second = profile(gzip_like_source)
+        assert first.stats.instructions == second.stats.instructions
+        assert first.stats.dynamic_instances == second.stats.dynamic_instances
+        fb1 = view_named(first, "flush_block")
+        fb2 = view_named(second, "flush_block")
+        edges1 = {(k, e.min_tdep) for k, e in fb1.profile.edges.items()}
+        edges2 = {(k, e.min_tdep) for k, e in fb2.profile.edges.items()}
+        assert edges1 == edges2

@@ -1,0 +1,133 @@
+"""ProfileReport query-surface tests."""
+
+import pytest
+
+from repro.core.profile_data import DepKind
+from tests.conftest import profile
+
+SOURCE = """
+int data[32];
+int total;
+
+int produce(int seed) {
+    int acc = seed;
+    for (int i = 0; i < 30; i++) {
+        acc = (acc * 31 + i) % 65521;
+    }
+    return acc;
+}
+
+int main() {
+    for (int f = 0; f < 8; f++) {
+        data[f] = produce(f);
+    }
+    for (int f = 0; f < 8; f++) {
+        total += data[f];
+    }
+    print(total);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def report():
+    return profile(SOURCE)
+
+
+class TestQueries:
+    def test_constructs_sorted_by_duration(self, report):
+        views = report.constructs()
+        durations = [v.total_duration for v in views]
+        assert durations == sorted(durations, reverse=True)
+
+    def test_top_constructs_filters(self, report):
+        from repro.analysis.constructs import ConstructKind
+        loops = report.top_constructs(10, kind=ConstructKind.LOOP)
+        assert loops and all(v.static.is_loop for v in loops)
+
+    def test_view_by_pc(self, report):
+        first = report.constructs()[0]
+        assert report.view(first.pc) is first
+
+    def test_views_at_line_prefers_loop(self, report):
+        produce_loop_line = SOURCE.splitlines().index(
+            "    for (int i = 0; i < 30; i++) {") + 1
+        views = report.views_at_line(produce_loop_line)
+        assert views[0].static.is_loop
+
+    def test_size_fractions_bounded(self, report):
+        for view in report.constructs():
+            assert 0.0 <= view.size_fraction() <= 1.0
+
+    def test_total_violating_consistent(self, report):
+        total = report.total_violating(DepKind.RAW)
+        assert total == sum(v.violating_count(DepKind.RAW)
+                            for v in report.constructs())
+
+    def test_location_conflicts_unknown_line(self, report):
+        with pytest.raises(KeyError):
+            report.location_conflicts(99999)
+
+    def test_to_text_contains_headline(self, report):
+        text = report.to_text(top=3)
+        assert "Profile:" in text
+        assert "Method main" in text
+
+    def test_describe_run(self, report):
+        text = report.describe_run()
+        assert "instructions=" in text
+        assert "pool_capacity=" in text
+
+
+class TestFig6Series:
+    def test_labels_and_ordering(self, report):
+        rows = report.fig6_series(top=5)
+        assert [r.label for r in rows] == [f"C{i}" for i in
+                                           range(1, len(rows) + 1)]
+        sizes = [r.norm_size for r in rows]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_main_excluded_by_default(self, report):
+        rows = report.fig6_series(top=10)
+        assert all(r.view.name != "main" for r in rows)
+        with_main = report.fig6_series(top=10, include_main=True)
+        assert any(r.view.name == "main" for r in with_main)
+
+    def test_exclusion(self, report):
+        rows = report.fig6_series(top=3)
+        excluded = {rows[0].view.pc}
+        filtered = report.fig6_series(top=3, exclude=excluded)
+        assert all(r.view.pc != rows[0].view.pc for r in filtered)
+
+
+class TestNestedSingletons:
+    def test_singleton_callee_detected(self, report):
+        # produce() is called once per iteration of the first loop.
+        first_loop = next(v for v in report.constructs()
+                          if v.static.is_loop)
+        nested = report.nested_singletons(first_loop.pc)
+        names = {report.view(pc).name for pc in nested}
+        assert "produce" in names
+
+    def test_unrelated_constructs_not_swallowed(self, report):
+        first_loop = next(v for v in report.constructs()
+                          if v.static.is_loop)
+        nested = report.nested_singletons(first_loop.pc)
+        names = {report.view(pc).name for pc in nested}
+        # The summation loop runs once total, not once per instance.
+        assert not any("main:" in n and "loop" in n for n in names)
+
+
+class TestInternalVsContinuation:
+    def test_classification(self, report):
+        sum_loop = [v for v in report.constructs()
+                    if v.static.is_loop and v.fn_name == "main"][-1]
+        # total += data[f]: the chain on `total` is internal.
+        internal_vars = {e.var_hint for e in
+                         sum_loop.violating_internal(DepKind.RAW)}
+        assert "total" in internal_vars
+        fill_loop = next(v for v in report.constructs()
+                         if v.static.is_loop and v.fn_name == "main")
+        cont = fill_loop.violating_continuation(DepKind.RAW)
+        assert all(not fill_loop._tail_inside(e) for e in cont)

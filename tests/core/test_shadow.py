@@ -1,0 +1,95 @@
+"""Shadow memory unit tests."""
+
+from repro.core.node import ConstructNode
+from repro.core.shadow import ShadowMemory
+
+
+def node():
+    return ConstructNode()
+
+
+class TestDetection:
+    def test_raw_from_last_write(self):
+        shadow = ShadowMemory()
+        writer = node()
+        assert shadow.on_read(7, pc=1, node=node(), timestamp=5) is None
+        shadow.on_write(7, pc=2, node=writer, timestamp=10)
+        head = shadow.on_read(7, pc=3, node=node(), timestamp=14)
+        assert head == (2, writer, 10)
+
+    def test_raw_reflects_most_recent_write(self):
+        shadow = ShadowMemory()
+        first, second = node(), node()
+        shadow.on_write(7, 1, first, 10)
+        shadow.on_write(7, 2, second, 20)
+        head = shadow.on_read(7, 3, node(), 25)
+        assert head == (2, second, 20)
+
+    def test_waw_links_consecutive_writes(self):
+        shadow = ShadowMemory()
+        first, second = node(), node()
+        shadow.on_write(7, 1, first, 10)
+        waw, wars = shadow.on_write(7, 2, second, 20)
+        assert waw == (1, first, 10)
+        assert wars == {}
+
+    def test_war_from_reads_since_last_write(self):
+        shadow = ShadowMemory()
+        r1, r2 = node(), node()
+        shadow.on_read(7, 11, r1, 5)
+        shadow.on_read(7, 12, r2, 6)
+        waw, wars = shadow.on_write(7, 2, node(), 9)
+        assert waw is None
+        assert set(wars) == {11, 12}
+        assert wars[12] == (r2, 6)
+
+    def test_write_clears_read_set(self):
+        shadow = ShadowMemory()
+        shadow.on_read(7, 11, node(), 5)
+        shadow.on_write(7, 1, node(), 6)
+        _, wars = shadow.on_write(7, 2, node(), 7)
+        assert wars == {}  # the read paired with the first write only
+
+    def test_repeated_read_same_pc_keeps_latest(self):
+        shadow = ShadowMemory()
+        a, b = node(), node()
+        shadow.on_read(7, 11, a, 5)
+        shadow.on_read(7, 11, b, 9)
+        _, wars = shadow.on_write(7, 2, node(), 12)
+        assert wars[11] == (b, 9)  # latest read -> minimal WAR Tdep
+
+    def test_addresses_are_independent(self):
+        shadow = ShadowMemory()
+        shadow.on_write(7, 1, node(), 10)
+        assert shadow.on_read(8, 2, node(), 11) is None
+
+
+class TestClearing:
+    def test_clear_range_forgets_writes(self):
+        shadow = ShadowMemory()
+        shadow.on_write(100, 1, node(), 10)
+        shadow.on_write(101, 1, node(), 11)
+        shadow.clear_range(100, 102)
+        assert shadow.on_read(100, 2, node(), 20) is None
+        assert shadow.on_read(101, 2, node(), 20) is None
+
+    def test_clear_range_is_exact(self):
+        shadow = ShadowMemory()
+        shadow.on_write(99, 1, node(), 10)
+        shadow.on_write(100, 1, node(), 10)
+        shadow.clear_range(100, 101)
+        assert shadow.on_read(99, 2, node(), 20) is not None
+        assert shadow.on_read(100, 2, node(), 20) is None
+
+    def test_clear_large_range_over_sparse_entries(self):
+        shadow = ShadowMemory()
+        shadow.on_write(5, 1, node(), 1)
+        shadow.on_write(500_000, 1, node(), 2)
+        shadow.clear_range(0, 1_000_000)
+        assert shadow.tracked_addresses() == 0
+
+    def test_tracked_addresses(self):
+        shadow = ShadowMemory()
+        for addr in range(10):
+            shadow.on_write(addr, 1, node(), addr + 1)
+        assert shadow.tracked_addresses() == 10

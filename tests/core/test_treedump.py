@@ -1,0 +1,194 @@
+"""Index-tree recorder tests — the paper's Fig. 4 examples, literally."""
+
+import pytest
+
+from repro.core.treedump import record_index_tree
+
+
+class TestFig4Examples:
+    def test_example_a_procedure_nesting(self):
+        """Fig. 4(a): B nested in A nested in (here) main; the index of
+        a point inside B is [main, A, B]."""
+        tree, _ = record_index_tree("""
+        int g;
+        void B() { g = 2; }
+        void A() { g = 1; B(); }
+        int main() { A(); return 0; }
+        """)
+        assert tree.index_of_first("B") == ["main", "A", "B"]
+        a_nodes = tree.instances_of("A")
+        assert len(a_nodes) == 1
+        assert [c.name for c in a_nodes[0].children] == ["B"]
+
+    def test_example_b_conditional_nesting(self):
+        """Fig. 4(b): construct 4 is nested within construct 2, both in
+        C — and the predicate itself belongs to the *enclosing*
+        construct, not to the one it leads."""
+        tree, _ = record_index_tree("""
+        int g;
+        void C(int p, int q) {
+            if (p) {
+                g = 3;
+                if (q) { g = 4; }
+            }
+        }
+        int main() { C(1, 1); return 0; }
+        """)
+        c_nodes = tree.instances_of("C")
+        assert len(c_nodes) == 1
+        outer_ifs = [c for c in c_nodes[0].children
+                     if c.name.startswith("if")]
+        assert len(outer_ifs) == 1
+        inner_ifs = [c for c in outer_ifs[0].children
+                     if c.name.startswith("if")]
+        assert len(inner_ifs) == 1
+        index = tree.index_of_first(inner_ifs[0].name)
+        assert index[0] == "main" and index[1] == "C"
+
+    def test_example_c_loop_iterations_are_siblings(self):
+        """Fig. 4(c): the two iterations of the inner loop are siblings
+        nested in one iteration of the outer loop; iterations of the
+        outer loop are siblings nested in D."""
+        tree, _ = record_index_tree("""
+        int g;
+        void D() {
+            int i;
+            int j;
+            for (i = 0; i < 2; i++) {
+                g += i;
+                for (j = 0; j < 2; j++) { g += j; }
+            }
+        }
+        int main() { D(); return 0; }
+        """)
+        d_nodes = tree.instances_of("D")
+        assert len(d_nodes) == 1
+        outer_iters = [c for c in d_nodes[0].children
+                       if c.name.startswith("loop")]
+        assert len(outer_iters) == 2  # iterations are siblings under D
+        inner_of_first = [c for c in outer_iters[0].children
+                          if c.name.startswith("loop")]
+        assert len(inner_of_first) == 2  # inner iterations are siblings
+        # The index of a point in the inner loop is [main, D, outer, inner].
+        index = tree.index_of_first(inner_of_first[0].name)
+        assert index[:2] == ["main", "D"]
+        assert len(index) == 4
+
+
+class TestTreeShape:
+    def test_recursion_nests(self):
+        tree, _ = record_index_tree("""
+        int depth_sum;
+        int f(int n) {
+            depth_sum += n;
+            if (n == 0) { return 0; }
+            return f(n - 1);
+        }
+        int main() { return f(3); }
+        """)
+        f_nodes = tree.instances_of("f")
+        assert len(f_nodes) == 4
+        # Each activation is a child chain: f -> (if ->) f.
+        top = f_nodes[0]
+        descendants = [n for _, n in top.walk() if n.name == "f"]
+        assert len(descendants) == 4  # itself + 3 nested activations
+
+    def test_timestamps_nest(self):
+        tree, _ = record_index_tree("""
+        int g;
+        void leaf() { g++; }
+        int main() {
+            int i;
+            for (i = 0; i < 3; i++) { leaf(); }
+            return 0;
+        }
+        """)
+        for _, node in tree.root.walk():
+            for child in node.children:
+                assert node.t_enter <= child.t_enter
+                assert child.t_exit <= node.t_exit or node.t_exit == 0
+
+    def test_goto_loop_is_classified_as_loop_with_sibling_iterations(self):
+        """A backward goto forms a natural loop in the CFG, so the
+        `if (i < 3) goto top;` predicate is a *loop* predicate: its
+        iterations are recorded as siblings (rule 4), exactly as for a
+        `while` — hand-rolled goto loops are parallelization candidates
+        too."""
+        tree, _ = record_index_tree("""
+        int g;
+        int main() {
+            int i = 0;
+            top:
+            g += i;
+            i++;
+            if (i < 3) { goto top; }
+            return g;
+        }
+        """)
+        loops = [n for n in tree.root.children
+                 if n.name.startswith("loop")]
+        assert len(loops) == 2  # two taken back edges -> two iterations
+        assert all(not n.children for n in loops)
+
+    def test_render_contains_structure(self):
+        tree, _ = record_index_tree("""
+        int g;
+        void work() { g++; }
+        int main() { work(); work(); return 0; }
+        """)
+        text = tree.render()
+        assert "main" in text
+        assert text.count("work") == 2
+        assert "|-" in text or "`-" in text
+
+    def test_render_depth_limit(self):
+        tree, _ = record_index_tree("""
+        int g;
+        void inner() { g++; }
+        void outer() { inner(); }
+        int main() { outer(); return 0; }
+        """)
+        shallow = tree.render(max_depth=1)
+        assert "outer" in shallow
+        assert "inner" not in shallow
+
+    def test_truncation_budget(self):
+        tree, _ = record_index_tree("""
+        int g;
+        int main() {
+            int i;
+            for (i = 0; i < 100; i++) { g += i; }
+            return 0;
+        }
+        """, max_nodes=10)
+        assert tree.truncated
+        assert tree.node_count == 10
+        assert "truncated" in tree.render()
+
+    def test_profile_collected_alongside(self):
+        tree, tracer = record_index_tree("""
+        int g;
+        void work() { g++; }
+        int main() { work(); return g; }
+        """)
+        names = {p.static.name for p in tracer.store.profiles.values()}
+        assert "work" in names
+
+    def test_switch_cases_appear(self):
+        tree, _ = record_index_tree("""
+        int g;
+        int main() {
+            int i;
+            for (i = 0; i < 3; i++) {
+                switch (i) {
+                    case 0: g += 1; break;
+                    case 1: g += 2; break;
+                    default: g += 3;
+                }
+            }
+            return g;
+        }
+        """)
+        switches = [n for _, n in tree.root.walk()
+                    if n.name.startswith("switch")]
+        assert switches

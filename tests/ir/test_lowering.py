@@ -1,0 +1,210 @@
+"""Lowering unit tests: CFG shapes, slots, semantic errors."""
+
+import pytest
+
+from repro.ir import compile_source, format_program
+from repro.ir import instructions as ins
+from repro.ir.cfg import VIRTUAL_EXIT
+from repro.lang.errors import SemanticError
+
+
+def branches(fn):
+    return [b.terminator for b in fn.blocks
+            if isinstance(b.terminator, ins.Branch)]
+
+
+class TestStructure:
+    def test_all_blocks_terminated(self):
+        program = compile_source("""
+        int main() {
+            int x = 0;
+            if (x) { x = 1; } else { x = 2; }
+            while (x < 5) x++;
+            return x;
+        }
+        """)
+        for fn in program.functions.values():
+            for block in fn.blocks:
+                assert isinstance(block.terminator, ins.TERMINATORS)
+
+    def test_pcs_are_dense_and_unique(self):
+        program = compile_source(
+            "int f(int a) { return a + 1; } int main() { return f(2); }")
+        pcs = [i.pc for i in program.instrs]
+        assert pcs == list(range(len(pcs)))
+
+    def test_ret_blocks_point_to_virtual_exit(self):
+        program = compile_source("int main() { return 0; }")
+        fn = program.main
+        exits = [b for b in fn.blocks
+                 if isinstance(b.terminator, ins.Ret)]
+        assert exits
+        assert all(b.successors() == [VIRTUAL_EXIT] for b in exits)
+
+    def test_implicit_return_for_void_and_int(self):
+        program = compile_source("void f() { } int main() { f(); }")
+        assert isinstance(program.functions["f"].blocks[-1].terminator,
+                          ins.Ret)
+        main_term = program.main.blocks[-1].terminator
+        assert isinstance(main_term, ins.Ret)
+        assert main_term.src is not None  # returns the constant 0
+
+    def test_while_shape(self):
+        program = compile_source(
+            "int main() { int i = 0; while (i < 3) i++; return i; }")
+        (branch,) = branches(program.main)
+        assert branch.hint == "while"
+        # The header is the branch's block and is a back-edge target.
+        labels = {b.id: b.label for b in program.main.blocks}
+        assert "while.head" in labels[program.blocks_by_id[
+            next(bid for bid, b in program.blocks_by_id.items()
+                 if branch in b.instrs)].id]
+
+    def test_for_without_cond_still_has_branch(self):
+        program = compile_source(
+            "int main() { for (;;) break; return 0; }")
+        (branch,) = branches(program.main)
+        assert branch.hint == "for"
+
+    def test_logical_and_produces_branch(self):
+        program = compile_source(
+            "int main() { int a = 1; int b = 2; return a && b; }")
+        hints = [b.hint for b in branches(program.main)]
+        assert hints == ["logical"]
+
+    def test_ternary_produces_branch(self):
+        program = compile_source(
+            "int main() { int a = 1; return a ? 2 : 3; }")
+        hints = [b.hint for b in branches(program.main)]
+        assert hints == ["ternary"]
+
+    def test_globals_layout(self):
+        program = compile_source(
+            "int a; int buf[10]; int c = 7; int main() { return c; }")
+        layout = {v.name: v for v in program.globals_layout}
+        # Address 0 is reserved as NULL; globals start at 1.
+        assert layout["a"].offset == 1
+        assert layout["buf"].offset == 2 and layout["buf"].size == 10
+        assert layout["c"].offset == 12 and layout["c"].init == 7
+        assert program.globals_size == 13
+
+    def test_frame_layout_reserves_retval_cell(self):
+        program = compile_source(
+            "int f(int a) { int b; int arr[3]; return a; } "
+            "int main() { return f(1); }")
+        fn = program.functions["f"]
+        offsets = {v.name: v.offset for v in fn.locals_layout}
+        assert min(offsets.values()) == 1  # offset 0 is the retval cell
+        assert fn.frame_size == 1 + 1 + 1 + 3
+
+    def test_array_param_uses_ref_slot(self):
+        program = compile_source(
+            "int f(int a[]) { return a[0]; } "
+            "int buf[4]; int main() { return f(buf); }")
+        fn = program.functions["f"]
+        assert isinstance(fn.params[0].slot, ins.RefSlot)
+        assert fn.num_refs == 1
+
+    def test_const_size_expression(self):
+        program = compile_source(
+            "int buf[4 * 8 + 2]; int main() { return 0; }")
+        assert program.global_var("buf").size == 34
+
+    def test_format_program_runs(self):
+        program = compile_source("int main() { return 1 + 2; }")
+        text = format_program(program)
+        assert "func main" in text
+        assert "ret" in text
+
+
+class TestSemanticErrors:
+    def err(self, source):
+        with pytest.raises(SemanticError):
+            compile_source(source)
+
+    def test_missing_main(self):
+        self.err("int f() { return 0; }")
+
+    def test_unknown_variable(self):
+        self.err("int main() { return nope; }")
+
+    def test_unknown_function(self):
+        self.err("int main() { return g(); }")
+
+    def test_arity_mismatch(self):
+        self.err("int f(int a) { return a; } int main() { return f(); }")
+
+    def test_array_decays_to_address_in_value_position(self):
+        # C array decay: the name in value position is the base address,
+        # not an error (global segment starts at 0, so buf sits at 0).
+        program = compile_source("int buf[3]; int main() { return buf; }")
+        fn = program.functions["main"]
+        assert any(isinstance(i, ins.AddrOf)
+                   for block in fn.blocks for i in block.instrs)
+
+    def test_scalar_indexed(self):
+        self.err("int x; int main() { return x[0]; }")
+
+    def test_scalar_passed_to_array_param(self):
+        self.err("int f(int a[]) { return a[0]; } "
+                 "int x; int main() { return f(x); }")
+
+    def test_array_passed_to_scalar_param_decays(self):
+        # With C decay semantics the call passes the base address.
+        program = compile_source("int f(int a) { return a; } "
+                                 "int buf[3]; int main() { return f(buf); }")
+        assert "f" in program.functions
+
+    def test_void_value_used(self):
+        self.err("void f() { } int main() { return f(); }")
+
+    def test_break_outside_loop(self):
+        self.err("int main() { break; }")
+
+    def test_continue_outside_loop(self):
+        self.err("int main() { continue; }")
+
+    def test_void_returns_value(self):
+        self.err("void f() { return 3; } int main() { f(); }")
+
+    def test_int_returns_nothing(self):
+        self.err("int f() { return; } int main() { return f(); }")
+
+    def test_duplicate_local(self):
+        self.err("int main() { int x; int x; return 0; }")
+
+    def test_duplicate_global(self):
+        self.err("int g; int g; int main() { return 0; }")
+
+    def test_duplicate_function(self):
+        self.err("int f() { return 0; } int f() { return 1; } "
+                 "int main() { return 0; }")
+
+    def test_non_constant_array_size(self):
+        self.err("int main() { int n = 3; int buf[n]; return 0; }")
+
+    def test_zero_array_size(self):
+        self.err("int buf[0]; int main() { return 0; }")
+
+    def test_main_with_params(self):
+        self.err("int main(int a) { return a; }")
+
+    def test_builtin_redefinition(self):
+        self.err("void print(int x) { } int main() { return 0; }")
+
+    def test_assign_to_array_name(self):
+        self.err("int buf[3]; int main() { buf = 1; return 0; }")
+
+    def test_array_initializer_rejected(self):
+        self.err("int main() { int a[3] = 5; return 0; }")
+
+    def test_shadowing_is_allowed(self):
+        compile_source("""
+        int x;
+        int main() {
+            int x = 1;
+            { int x = 2; }
+            for (int x = 0; x < 1; x++) { }
+            return x;
+        }
+        """)

@@ -1,0 +1,129 @@
+"""Lowering shapes for pointers and heap builtins."""
+
+import pytest
+
+from repro.ir import instructions as ins
+from repro.lang.errors import SemanticError
+from tests.conftest import compile_ir
+
+
+def instrs_of(program, fn_name="main"):
+    fn = program.functions[fn_name]
+    return [i for block in fn.blocks for i in block.instrs]
+
+
+def ops_of(program, fn_name="main"):
+    return [i.opcode for i in instrs_of(program, fn_name)]
+
+
+class TestPointerLowering:
+    def test_deref_read_lowers_to_loadind(self):
+        program = compile_ir("int main() { int *p; return *p; }")
+        assert "loadind" in ops_of(program)
+
+    def test_deref_write_lowers_to_storeind(self):
+        program = compile_ir("int main() { int *p; *p = 3; return 0; }")
+        assert "storeind" in ops_of(program)
+
+    def test_pointer_index_read_is_indirect(self):
+        program = compile_ir("int main() { int *p; return p[2]; }")
+        ops = ops_of(program)
+        assert "loadind" in ops
+        # ...and reads the pointer variable itself first.
+        loads = [i for i in instrs_of(program) if i.opcode == "load"]
+        assert any(i.slot.name == "p" for i in loads)
+
+    def test_pointer_index_write_is_indirect(self):
+        program = compile_ir("int main() { int *p; p[1] = 7; return 0; }")
+        assert "storeind" in ops_of(program)
+
+    def test_array_index_stays_direct(self):
+        program = compile_ir("int a[4]; int main() { return a[1]; }")
+        ops = ops_of(program)
+        assert "loadind" not in ops
+        assert "load" in ops
+
+    def test_addr_of_scalar(self):
+        program = compile_ir("int g; int main() { return &g; }")
+        addr = [i for i in instrs_of(program) if i.opcode == "addrof"]
+        assert len(addr) == 1
+        assert addr[0].slot.name == "g"
+
+    def test_addr_of_element_adds_index(self):
+        program = compile_ir(
+            "int a[8]; int main() { int *p = &a[3]; return 0; }")
+        ops = ops_of(program)
+        assert "addrof" in ops
+        assert "binop" in ops
+
+    def test_addr_of_deref_cancels(self):
+        program = compile_ir(
+            "int main() { int *p; int *q = &*p; return 0; }")
+        # &*p is just p: one load of p, no addrof, no loadind.
+        ops = ops_of(program)
+        assert "addrof" not in ops
+        assert "loadind" not in ops
+
+    def test_compound_assign_through_deref_single_address_eval(self):
+        program = compile_ir("""
+        int calls;
+        int *get() { calls++; return &calls; }
+        int main() { *get() += 5; return calls; }
+        """)
+        calls = [i for i in instrs_of(program) if i.opcode == "call"]
+        assert len(calls) == 1
+
+    def test_malloc_lowers_to_alloc(self):
+        program = compile_ir("int main() { int *p = malloc(4); return 0; }")
+        assert "alloc" in ops_of(program)
+
+    def test_free_lowers_to_free(self):
+        program = compile_ir(
+            "int main() { int *p = malloc(4); free(p); return 0; }")
+        assert "free" in ops_of(program)
+
+    def test_malloc_result_required(self):
+        # malloc returns a value usable in larger expressions.
+        program = compile_ir("int main() { return malloc(1) != 0; }")
+        assert "alloc" in ops_of(program)
+
+    def test_array_decay_in_assignment(self):
+        program = compile_ir(
+            "int a[4]; int main() { int *p = a; return 0; }")
+        assert "addrof" in ops_of(program)
+
+
+class TestPointerLoweringErrors:
+    def err(self, source):
+        with pytest.raises(SemanticError):
+            compile_ir(source)
+
+    def test_malloc_arity(self):
+        self.err("int main() { int *p = malloc(); return 0; }")
+
+    def test_malloc_two_args(self):
+        self.err("int main() { int *p = malloc(1, 2); return 0; }")
+
+    def test_free_arity(self):
+        self.err("int main() { free(); return 0; }")
+
+    def test_malloc_not_shadowable(self):
+        self.err("int malloc(int n) { return n; } int main() { return 0; }")
+
+    def test_free_not_shadowable(self):
+        self.err("void free(int p) { } int main() { return 0; }")
+
+    def test_scalar_nonpointer_to_array_param(self):
+        self.err("int f(int a[]) { return a[0]; } "
+                 "int x; int main() { return f(x); }")
+
+    def test_pointer_to_array_param_ok(self):
+        program = compile_ir("int f(int a[]) { return a[0]; } "
+                             "int main() { int *p; return f(p); }")
+        assert "f" in program.functions
+
+    def test_expression_to_array_param_ok(self):
+        program = compile_ir(
+            "int f(int a[]) { return a[0]; } int buf[8]; "
+            "int main() { return f(&buf[2]); }")
+        assert "f" in program.functions

@@ -1,0 +1,119 @@
+"""CFG shapes for switch/goto lowering and their construct-table view."""
+
+from repro.analysis.constructs import ConstructKind, ConstructTable
+from repro.ir import instructions as ins
+from tests.conftest import compile_ir
+
+
+def branches(program, fn_name="main"):
+    fn = program.functions[fn_name]
+    return [i for b in fn.blocks for i in b.instrs
+            if isinstance(i, ins.Branch)]
+
+
+class TestSwitchLowering:
+    def test_one_branch_per_tested_case(self):
+        program = compile_ir("""
+        int main() {
+            switch (1) {
+                case 1: return 1;
+                case 2: return 2;
+                case 3: return 3;
+                default: return 0;
+            }
+        }
+        """)
+        hints = [b.hint for b in branches(program)]
+        assert hints == ["switch", "switch", "switch"]
+
+    def test_switch_branches_are_cond_constructs(self):
+        program = compile_ir("""
+        int main() {
+            int y = 0;
+            switch (2) { case 1: y = 1; break; case 2: y = 2; break; }
+            return y;
+        }
+        """)
+        table = ConstructTable(program)
+        kinds = [c.kind for c in table.by_pc.values()
+                 if c.hint == "switch"]
+        assert kinds == [ConstructKind.COND, ConstructKind.COND]
+
+    def test_switch_construct_regions_nest(self):
+        # The first test's region must contain the second test's block
+        # (cascade order), not vice versa.
+        program = compile_ir("""
+        int main() {
+            int y = 0;
+            switch (9) { case 1: y = 1; break; case 2: y = 2; break; }
+            return y;
+        }
+        """)
+        table = ConstructTable(program)
+        tests = sorted((c for c in table.by_pc.values()
+                        if c.hint == "switch"), key=lambda c: c.pc)
+        first, second = tests
+        assert second.block_id in first.region
+        assert first.block_id not in second.region
+
+    def test_empty_switch_loweres_to_jump(self):
+        program = compile_ir("int main() { switch (1) { } return 0; }")
+        assert branches(program) == []
+
+    def test_default_only_switch(self):
+        program = compile_ir(
+            "int main() { int y = 0; switch (1) { default: y = 5; } "
+            "return y; }")
+        assert branches(program) == []
+
+
+class TestGotoLowering:
+    def test_goto_is_a_jump_not_a_branch(self):
+        program = compile_ir("""
+        int main() {
+            goto out;
+            out:
+            return 0;
+        }
+        """)
+        assert branches(program) == []
+
+    def test_backward_goto_creates_cycle(self):
+        # A goto-built loop: the label block is reachable from itself.
+        program = compile_ir("""
+        int main() {
+            int i = 0;
+            top:
+            i++;
+            if (i < 3) { goto top; }
+            return i;
+        }
+        """)
+        fn = program.functions["main"]
+        label_blocks = [b for b in fn.blocks if "label.top" in b.label]
+        assert len(label_blocks) == 1
+        # Find the if's branch; its region should include the label block
+        # only if the label is inside... here the branch jumps backwards,
+        # so the label block must be among some block's successors twice.
+        preds = fn.predecessors()
+        assert len(preds[label_blocks[0].id]) == 2
+
+    def test_goto_past_if_join_still_analyzes(self):
+        # Jumping out of a conditional arm: post-dominance handles the
+        # abandoned construct (no construct-table errors).
+        program = compile_ir("""
+        int main() {
+            int x = 0;
+            if (x == 0) { goto out; }
+            x = 5;
+            out:
+            return x;
+        }
+        """)
+        table = ConstructTable(program)
+        conds = [c for c in table.by_pc.values()
+                 if c.kind is ConstructKind.COND]
+        assert len(conds) == 1
+        # The if's immediate post-dominator is the label block (both arms
+        # reach `out`).
+        assert conds[0].ipostdom_block is not None

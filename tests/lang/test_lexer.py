@@ -1,0 +1,146 @@
+"""Lexer unit tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenType
+
+
+def types(source):
+    return [t.type for t in tokenize(source)]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source_yields_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].type is TokenType.EOF
+
+    def test_integer_literal(self):
+        assert values("42") == [42]
+
+    def test_hex_literal(self):
+        assert values("0xff 0X10") == [255, 16]
+
+    def test_char_literal(self):
+        assert values("'a' '\\n' '\\0' '\\\\'") == [97, 10, 0, 92]
+
+    def test_identifier_and_keyword(self):
+        toks = tokenize("while whilex _x x1")
+        assert toks[0].type is TokenType.KW_WHILE
+        assert toks[1].type is TokenType.IDENT
+        assert toks[1].value == "whilex"
+        assert toks[2].value == "_x"
+        assert toks[3].value == "x1"
+
+    def test_all_keywords(self):
+        source = ("int void if else while do for break continue return "
+                  "switch case default goto")
+        expected = [
+            TokenType.KW_INT, TokenType.KW_VOID, TokenType.KW_IF,
+            TokenType.KW_ELSE, TokenType.KW_WHILE, TokenType.KW_DO,
+            TokenType.KW_FOR, TokenType.KW_BREAK, TokenType.KW_CONTINUE,
+            TokenType.KW_RETURN, TokenType.KW_SWITCH, TokenType.KW_CASE,
+            TokenType.KW_DEFAULT, TokenType.KW_GOTO, TokenType.EOF,
+        ]
+        assert types(source) == expected
+
+    def test_keyword_prefixed_identifiers_are_identifiers(self):
+        source = "switcher gotcha defaulted cases"
+        assert types(source) == [TokenType.IDENT] * 4 + [TokenType.EOF]
+
+
+class TestOperators:
+    def test_maximal_munch(self):
+        assert types("<<=")[:-1] == [TokenType.LSHIFT_ASSIGN]
+        assert types("<<")[:-1] == [TokenType.LSHIFT]
+        assert types("<=")[:-1] == [TokenType.LE]
+        assert types("< =")[:-1] == [TokenType.LT, TokenType.ASSIGN]
+
+    def test_increment_vs_plus(self):
+        assert types("++ + +=")[:-1] == [
+            TokenType.PLUS_PLUS, TokenType.PLUS, TokenType.PLUS_ASSIGN]
+
+    def test_logical_vs_bitwise(self):
+        assert types("&& & || |")[:-1] == [
+            TokenType.AND_AND, TokenType.AMP, TokenType.OR_OR,
+            TokenType.PIPE]
+
+    def test_compound_assignments(self):
+        source = "+= -= *= /= %= &= |= ^= <<= >>="
+        kinds = types(source)[:-1]
+        assert len(kinds) == 10
+        assert len(set(kinds)) == 10
+
+
+class TestTrivia:
+    def test_line_comment(self):
+        assert values("1 // comment 2\n3") == [1, 3]
+
+    def test_block_comment(self):
+        assert values("1 /* 2\n2 */ 3") == [1, 3]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("1 /* never ends")
+
+    def test_positions(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+
+class TestErrors:
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+    def test_string_literal_rejected(self):
+        with pytest.raises(LexError):
+            tokenize('"hello"')
+
+    def test_identifier_cannot_start_with_digit(self):
+        with pytest.raises(LexError):
+            tokenize("1abc")
+
+    def test_bad_escape(self):
+        with pytest.raises(LexError):
+            tokenize("'\\q'")
+
+    def test_unterminated_char(self):
+        with pytest.raises(LexError):
+            tokenize("'a")
+
+    def test_empty_hex(self):
+        with pytest.raises(LexError):
+            tokenize("0x")
+
+
+class TestProperties:
+    @given(st.integers(min_value=0, max_value=2**63 - 1))
+    def test_decimal_round_trip(self, value):
+        assert values(str(value)) == [value]
+
+    @given(st.integers(min_value=0, max_value=2**63 - 1))
+    def test_hex_round_trip(self, value):
+        assert values(hex(value)) == [value]
+
+    @given(st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,12}", fullmatch=True))
+    def test_identifiers_survive(self, name):
+        toks = tokenize(name)
+        assert toks[0].value == name or toks[0].type is not TokenType.IDENT
+
+    @given(st.lists(st.sampled_from(
+        ["+", "-", "*", "/", "%", "<", ">", "(", ")", "x", "42", ";"]),
+        max_size=30))
+    def test_token_stream_always_terminated(self, pieces):
+        toks = tokenize(" ".join(pieces))
+        assert toks[-1].type is TokenType.EOF
+        assert len(toks) == len(pieces) + 1

@@ -1,0 +1,168 @@
+"""Parsing tests for pointer syntax: declarations, `*`/`&`, lvalues."""
+
+import pytest
+
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse_program
+from tests.conftest import ast_shape
+
+
+def first_stmt(source: str) -> ast.Stmt:
+    program = parse_program(source)
+    return program.function("main").body.stmts[0]
+
+
+class TestPointerDeclarations:
+    def test_local_pointer(self):
+        stmt = first_stmt("int main() { int *p; return 0; }")
+        assert isinstance(stmt, ast.VarDeclStmt)
+        assert stmt.is_pointer
+        assert stmt.size is None
+
+    def test_local_pointer_with_init(self):
+        stmt = first_stmt("int g; int main() { int *p = &g; return 0; }")
+        assert stmt.is_pointer
+        assert isinstance(stmt.init, ast.AddrOf)
+
+    def test_double_star_collapses(self):
+        stmt = first_stmt("int main() { int **p; return 0; }")
+        assert stmt.is_pointer
+
+    def test_space_between_star_and_name(self):
+        stmt = first_stmt("int main() { int * p; return 0; }")
+        assert stmt.is_pointer
+
+    def test_global_pointer(self):
+        program = parse_program("int *gp; int main() { return 0; }")
+        assert program.globals[0].is_pointer
+
+    def test_pointer_parameter(self):
+        program = parse_program(
+            "void f(int *p) { } int main() { return 0; }")
+        param = program.function("f").params[0]
+        assert param.is_pointer
+        assert not param.is_array
+
+    def test_array_parameter_still_parses(self):
+        program = parse_program(
+            "void f(int a[]) { } int main() { return 0; }")
+        param = program.function("f").params[0]
+        assert param.is_array
+        assert not param.is_pointer
+
+    def test_pointer_return_type(self):
+        program = parse_program("int *f() { return 0; } "
+                                "int main() { return 0; }")
+        assert program.function("f").returns_value
+
+    def test_array_of_pointers_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("int main() { int *a[4]; return 0; }")
+
+    def test_global_array_of_pointers_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("int *a[4]; int main() { return 0; }")
+
+    def test_pointer_array_param_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("void f(int *a[]) { } int main() { return 0; }")
+
+
+class TestDerefAndAddrOf:
+    def test_deref_expression(self):
+        stmt = first_stmt("int main() { int *p; return *p; }")
+        # second statement is the return
+        program = parse_program("int main() { int *p; return *p; }")
+        ret = program.function("main").body.stmts[1]
+        assert isinstance(ret.value, ast.Deref)
+
+    def test_deref_binds_tighter_than_binary_star(self):
+        program = parse_program("int main() { int *p; return *p * *p; }")
+        ret = program.function("main").body.stmts[1]
+        assert isinstance(ret.value, ast.BinOp)
+        assert ret.value.op == "*"
+        assert isinstance(ret.value.lhs, ast.Deref)
+        assert isinstance(ret.value.rhs, ast.Deref)
+
+    def test_addr_of_variable(self):
+        program = parse_program("int g; int main() { return &g != 0; }")
+        ret = program.function("main").body.stmts[0]
+        assert isinstance(ret.value.lhs, ast.AddrOf)
+
+    def test_addr_of_array_element(self):
+        program = parse_program(
+            "int a[4]; int main() { int *p = &a[2]; return 0; }")
+        decl = program.function("main").body.stmts[0]
+        assert isinstance(decl.init, ast.AddrOf)
+        assert isinstance(decl.init.operand, ast.Index)
+
+    def test_addr_of_deref_allowed(self):
+        program = parse_program(
+            "int main() { int *p; int *q = &*p; return 0; }")
+        decl = program.function("main").body.stmts[1]
+        assert isinstance(decl.init, ast.AddrOf)
+
+    def test_addr_of_literal_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("int main() { return &5; }")
+
+    def test_addr_of_call_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("int f() { return 0; } "
+                          "int main() { return &f(); }")
+
+    def test_deref_is_assignable(self):
+        stmt = first_stmt("int main() { int *p; *p = 3; return 0; }")
+        program = parse_program("int main() { int *p; *p = 3; return 0; }")
+        assign = program.function("main").body.stmts[1].expr
+        assert isinstance(assign, ast.Assign)
+        assert isinstance(assign.target, ast.Deref)
+
+    def test_deref_compound_assign(self):
+        program = parse_program("int main() { int *p; *p += 3; return 0; }")
+        assign = program.function("main").body.stmts[1].expr
+        assert assign.op == "+"
+        assert isinstance(assign.target, ast.Deref)
+
+    def test_deref_incdec(self):
+        program = parse_program("int main() { int *p; (*p)++; return 0; }")
+        incdec = program.function("main").body.stmts[1].expr
+        assert isinstance(incdec, ast.IncDec)
+        assert isinstance(incdec.target, ast.Deref)
+
+    def test_deref_of_parenthesized_arith(self):
+        program = parse_program(
+            "int main() { int *p; return *(p + 1); }")
+        ret = program.function("main").body.stmts[1]
+        assert isinstance(ret.value, ast.Deref)
+        assert isinstance(ret.value.operand, ast.BinOp)
+
+    def test_binary_amp_still_parses(self):
+        program = parse_program("int main() { return 6 & 3; }")
+        ret = program.function("main").body.stmts[0]
+        assert isinstance(ret.value, ast.BinOp)
+        assert ret.value.op == "&"
+
+
+class TestPointerPrettyRoundTrip:
+    def roundtrip(self, source: str) -> None:
+        from repro.lang.pretty import pretty_print
+        first = parse_program(source)
+        second = parse_program(pretty_print(first))
+        assert ast_shape(first) == ast_shape(second)
+
+    def test_pointer_decls(self):
+        self.roundtrip("int *gp; int main() { int *p = gp; return 0; }")
+
+    def test_param_and_deref(self):
+        self.roundtrip("void f(int *p) { *p = 1; } "
+                       "int main() { int x; f(&x); return x; }")
+
+    def test_addr_of_element(self):
+        self.roundtrip("int a[8]; int main() { int *p = &a[3]; "
+                       "return *(p + 1); }")
+
+    def test_malloc_free(self):
+        self.roundtrip("int main() { int *p = malloc(4); p[0] = 1; "
+                       "free(p); return 0; }")

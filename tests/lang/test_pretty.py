@@ -1,0 +1,201 @@
+"""Pretty-printer round-trip tests, including a property-based AST fuzz."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_print
+from tests.conftest import ast_shape
+
+L = {"line": 1, "col": 1}
+
+
+def roundtrip(source: str) -> None:
+    first = parse_program(source)
+    printed = pretty_print(first)
+    second = parse_program(printed)
+    assert ast_shape(first) == ast_shape(second), printed
+
+
+class TestRoundTripExamples:
+    def test_simple(self):
+        roundtrip("int main() { return 0; }")
+
+    def test_globals(self):
+        roundtrip("int g; int a[4]; int c = 12; int main() { return g; }")
+
+    def test_control_flow(self):
+        roundtrip("""
+        int main() {
+            int x = 0;
+            for (int i = 0; i < 10; i++) {
+                if (i % 2) { x += i; } else { x -= 1; }
+                while (x > 100) { x /= 2; }
+                do { x++; } while (x < 0);
+            }
+            return x;
+        }
+        """)
+
+    def test_dangling_else_disambiguated(self):
+        roundtrip("""
+        int main() {
+            int a = 1;
+            if (a) if (a > 1) a = 2; else a = 3;
+            return a;
+        }
+        """)
+
+    def test_expressions(self):
+        roundtrip("""
+        int f(int a, int b) { return a ? b : a && b || !a; }
+        int main() {
+            int x = 1;
+            x <<= 2; x >>= 1; x |= 7; x &= 14; x ^= 5; x %= 11;
+            x = -f(x++, --x) + ~x;
+            return x;
+        }
+        """)
+
+    def test_arrays_and_calls(self):
+        roundtrip("""
+        int buf[8];
+        void fill(int a[], int n) {
+            for (int i = 0; i < n; i++) a[i] = i * i;
+        }
+        int main() { fill(buf, 8); return buf[7]; }
+        """)
+
+    def test_empty_for_and_break(self):
+        roundtrip("""
+        int main() {
+            int i = 0;
+            for (;;) { i++; if (i > 4) break; else continue; }
+            return i;
+        }
+        """)
+
+
+# -- property-based fuzz --------------------------------------------------
+
+_names = st.sampled_from(["a", "b", "c", "x", "y"])
+
+
+def _exprs(depth: int):
+    leaf = st.one_of(
+        st.integers(min_value=0, max_value=999).map(
+            lambda v: ast.IntLit(value=v, **L)),
+        _names.map(lambda n: ast.VarRef(name=n, **L)),
+    )
+    if depth <= 0:
+        return leaf
+    sub = _exprs(depth - 1)
+    return st.one_of(
+        leaf,
+        st.tuples(st.sampled_from(["+", "-", "*", "&", "|", "^", "<",
+                                   "==", "<<"]), sub, sub).map(
+            lambda t: ast.BinOp(op=t[0], lhs=t[1], rhs=t[2], **L)),
+        st.tuples(st.sampled_from(["&&", "||"]), sub, sub).map(
+            lambda t: ast.LogicalOp(op=t[0], lhs=t[1], rhs=t[2], **L)),
+        st.tuples(st.sampled_from(["-", "~", "!"]), sub).map(
+            lambda t: ast.UnOp(op=t[0], operand=t[1], **L)),
+        st.tuples(sub, sub, sub).map(
+            lambda t: ast.CondExpr(cond=t[0], then=t[1], els=t[2], **L)),
+        st.tuples(_names, sub).map(
+            lambda t: ast.Assign(target=ast.VarRef(name=t[0], **L),
+                                 value=t[1], op=None, **L)),
+        st.tuples(_names, sub, st.sampled_from(["+", "*", "^"])).map(
+            lambda t: ast.Assign(target=ast.VarRef(name=t[0], **L),
+                                 value=t[1], op=t[2], **L)),
+        st.tuples(_names, st.sampled_from(["++", "--"]),
+                  st.booleans()).map(
+            lambda t: ast.IncDec(target=ast.VarRef(name=t[0], **L),
+                                 op=t[1], is_prefix=t[2], **L)),
+        sub.map(lambda e: ast.Deref(operand=e, **L)),
+        _names.map(lambda n: ast.AddrOf(
+            operand=ast.VarRef(name=n, **L), **L)),
+        st.tuples(_names, sub).map(
+            lambda t: ast.AddrOf(
+                operand=ast.Index(name=t[0], index=t[1], **L), **L)),
+        st.tuples(_names, sub).map(
+            lambda t: ast.Index(name=t[0], index=t[1], **L)),
+        st.tuples(sub, sub).map(
+            lambda t: ast.Assign(target=ast.Deref(operand=t[0], **L),
+                                 value=t[1], op=None, **L)),
+    )
+
+
+_labels = st.sampled_from(["l1", "l2", "out"])
+
+
+def _switch(expr, stmts):
+    """A switch with unique case values and at most one default arm
+    (the parser rejects duplicate defaults)."""
+    arm = st.lists(stmts, max_size=2)
+    return st.tuples(
+        expr,
+        st.lists(st.tuples(st.integers(0, 9), arm), max_size=3,
+                 unique_by=lambda t: t[0]),
+        st.none() | arm,
+    ).map(lambda t: ast.Switch(
+        scrutinee=t[0],
+        cases=[ast.SwitchCase(value=ast.IntLit(value=v, **L),
+                              stmts=body, **L) for v, body in t[1]]
+              + ([ast.SwitchCase(value=None, stmts=t[2], **L)]
+                 if t[2] is not None else []),
+        **L))
+
+
+def _stmts(depth: int):
+    expr = _exprs(1)
+    leaf = st.one_of(
+        expr.map(lambda e: ast.ExprStmt(expr=e, **L)),
+        st.just(ast.Return(value=ast.IntLit(value=0, **L), **L)),
+        _labels.map(lambda n: ast.Goto(name=n, **L)),
+        _labels.map(lambda n: ast.Label(name=n, **L)),
+    )
+    if depth <= 0:
+        return leaf
+    sub = st.lists(_stmts(depth - 1), max_size=3).map(
+        lambda body: ast.Block(stmts=body, **L))
+    return st.one_of(
+        leaf,
+        st.tuples(expr, sub, st.none() | sub).map(
+            lambda t: ast.If(cond=t[0], then=t[1], els=t[2], **L)),
+        st.tuples(expr, sub).map(
+            lambda t: ast.While(cond=t[0], body=t[1], **L)),
+        st.tuples(sub, expr).map(
+            lambda t: ast.DoWhile(body=t[0], cond=t[1], **L)),
+        st.tuples(expr, expr, sub).map(
+            lambda t: ast.For(init=None, cond=t[0], step=t[1],
+                              body=t[2], **L)),
+        _switch(expr, _stmts(depth - 1)),
+    )
+
+
+_programs = st.lists(_stmts(2), max_size=5).map(lambda body: ast.Program(
+    globals=[ast.GlobalDecl(name=n, size=None, init=None, **L)
+             for n in ["a", "b", "c"]]
+            + [ast.GlobalDecl(name=n, size=None, init=None,
+                              is_pointer=True, **L) for n in ["x", "y"]],
+    functions=[ast.FuncDecl(name="main", params=[],
+                            body=ast.Block(stmts=body, **L),
+                            returns_value=True, **L)],
+    **L))
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=120, deadline=None)
+    @given(_programs)
+    def test_parse_pretty_parse_is_identity(self, program):
+        printed = pretty_print(program)
+        reparsed = parse_program(printed)
+        assert ast_shape(reparsed) == ast_shape(program), printed
+
+    @settings(max_examples=60, deadline=None)
+    @given(_programs)
+    def test_pretty_is_stable(self, program):
+        once = pretty_print(program)
+        twice = pretty_print(parse_program(once))
+        assert once == twice

@@ -1,0 +1,169 @@
+"""Parsing tests for `switch`, `goto`, and statement labels."""
+
+import pytest
+
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_print
+from tests.conftest import ast_shape
+
+
+def main_stmts(source: str) -> list[ast.Stmt]:
+    return parse_program(source).function("main").body.stmts
+
+
+class TestSwitchParsing:
+    def test_basic_switch(self):
+        stmts = main_stmts("""
+        int main() {
+            int x = 2;
+            switch (x) {
+                case 1: return 10;
+                case 2: return 20;
+                default: return 0;
+            }
+        }
+        """)
+        switch = stmts[1]
+        assert isinstance(switch, ast.Switch)
+        assert len(switch.cases) == 3
+        assert switch.cases[0].value is not None
+        assert switch.cases[2].value is None
+
+    def test_fall_through_stmts_attach_to_case(self):
+        stmts = main_stmts("""
+        int main() {
+            int x = 1;
+            int y = 0;
+            switch (x) {
+                case 1:
+                    y = 1;
+                    y = 2;
+                case 2:
+                    y = 3;
+            }
+            return y;
+        }
+        """)
+        switch = stmts[2]
+        assert len(switch.cases[0].stmts) == 2
+        assert len(switch.cases[1].stmts) == 1
+
+    def test_empty_switch(self):
+        stmts = main_stmts("int main() { switch (1) { } return 0; }")
+        assert isinstance(stmts[0], ast.Switch)
+        assert stmts[0].cases == []
+
+    def test_case_with_no_statements(self):
+        stmts = main_stmts("""
+        int main() {
+            switch (1) { case 1: case 2: return 1; }
+            return 0;
+        }
+        """)
+        switch = stmts[0]
+        assert switch.cases[0].stmts == []
+        assert len(switch.cases[1].stmts) == 1
+
+    def test_duplicate_default_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("""
+            int main() {
+                switch (1) { default: return 1; default: return 2; }
+            }
+            """)
+
+    def test_statement_before_first_case_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("int main() { switch (1) { return 1; } }")
+
+    def test_default_in_middle(self):
+        stmts = main_stmts("""
+        int main() {
+            switch (3) { case 1: return 1; default: return 9;
+                         case 2: return 2; }
+        }
+        """)
+        assert stmts[0].cases[1].value is None
+
+
+class TestGotoParsing:
+    def test_goto_and_label(self):
+        stmts = main_stmts("""
+        int main() {
+            goto done;
+            done:
+            return 0;
+        }
+        """)
+        assert isinstance(stmts[0], ast.Goto)
+        assert stmts[0].name == "done"
+        assert isinstance(stmts[1], ast.Label)
+        assert stmts[1].name == "done"
+
+    def test_label_not_confused_with_ternary(self):
+        stmts = main_stmts("int main() { int x = 1 ? 2 : 3; return x; }")
+        assert isinstance(stmts[0], ast.VarDeclStmt)
+
+    def test_label_inside_loop(self):
+        stmts = main_stmts("""
+        int main() {
+            int i = 0;
+            while (i < 3) { top: i++; }
+            return i;
+        }
+        """)
+        assert isinstance(stmts[1], ast.While)
+
+    def test_goto_requires_identifier(self):
+        with pytest.raises(ParseError):
+            parse_program("int main() { goto 5; }")
+
+    def test_goto_requires_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_program("int main() { goto out return 0; out: return 1; }")
+
+
+class TestSwitchGotoPrettyRoundTrip:
+    def roundtrip(self, source: str) -> None:
+        first = parse_program(source)
+        second = parse_program(pretty_print(first))
+        assert ast_shape(first) == ast_shape(second)
+
+    def test_switch(self):
+        self.roundtrip("""
+        int main() {
+            int x = 2;
+            int y = 0;
+            switch (x + 1) {
+                case 1: y = 1; break;
+                case 2: y = 2;
+                default: y = 9; break;
+            }
+            return y;
+        }
+        """)
+
+    def test_goto(self):
+        self.roundtrip("""
+        int main() {
+            int i = 0;
+            again:
+            i++;
+            if (i < 5) { goto again; }
+            return i;
+        }
+        """)
+
+    def test_nested_switch(self):
+        self.roundtrip("""
+        int main() {
+            switch (1) {
+                case 1:
+                    switch (2) { case 2: return 22; }
+                case 3: return 3;
+            }
+            return 0;
+        }
+        """)

@@ -1,0 +1,154 @@
+"""Schedule simulator unit tests and invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.simulator import FutureSimulator
+from repro.parallel.taskgraph import TaskGraph, TaskNode
+
+
+def graph_of(durations, serial=None, deps=(), joins=None,
+             anti_deps=(), anti_joins=None):
+    tasks = []
+    clock = 0
+    serial = serial if serial is not None else [0] * (len(durations) + 1)
+    segments = []
+    for k, dur in enumerate(durations):
+        clock += serial[k]
+        tasks.append(TaskNode(k, clock, clock + dur))
+        clock += dur
+    clock += serial[len(durations)]
+    return TaskGraph(
+        target_pc=0,
+        total_time=clock,
+        tasks=tasks,
+        serial=list(serial),
+        task_deps=set(deps),
+        joins={k: set(v) for k, v in (joins or {}).items()},
+        anti_task_deps=set(anti_deps),
+        anti_joins={k: set(v) for k, v in (anti_joins or {}).items()},
+    )
+
+
+class TestBasicSchedules:
+    def test_single_worker_is_sequential(self):
+        graph = graph_of([100, 100, 100])
+        result = FutureSimulator(1).schedule(graph)
+        assert result.makespan == 300
+        assert result.speedup == pytest.approx(1.0)
+
+    def test_independent_tasks_scale(self):
+        graph = graph_of([100] * 8)
+        result = FutureSimulator(4).schedule(graph)
+        assert result.makespan == 200
+        assert result.speedup == pytest.approx(4.0)
+
+    def test_chain_gives_no_speedup(self):
+        graph = graph_of([100] * 8,
+                         deps=[(k, k + 1) for k in range(7)])
+        result = FutureSimulator(4).schedule(graph)
+        assert result.makespan == 800
+
+    def test_serial_prologue_bounds_speedup(self):
+        # Amdahl: 400 serial + 400 parallelizable on 4 workers.
+        graph = graph_of([100] * 4, serial=[400, 0, 0, 0, 0])
+        result = FutureSimulator(4).schedule(graph)
+        assert result.makespan == 500
+        assert result.speedup == pytest.approx(800 / 500)
+
+    def test_join_stalls_main_thread(self):
+        # The epilogue joins on task 1: both tasks run concurrently while
+        # the main thread blocks at the claim point.
+        graph = graph_of([100, 100], joins={2: {1}})
+        result = FutureSimulator(2).schedule(graph)
+        assert result.makespan == 100
+        assert result.join_stall == 100
+        graph = graph_of([100, 100], serial=[0, 0, 50], joins={2: {1}})
+        result = FutureSimulator(2).schedule(graph)
+        assert result.makespan == 150
+
+    def test_mid_serial_join(self):
+        # Segment 1 (before task 1) must wait for task 0.
+        graph = graph_of([100, 100], joins={1: {0}})
+        result = FutureSimulator(2).schedule(graph)
+        assert result.makespan == 200
+
+    def test_anti_deps_only_without_privatization(self):
+        graph = graph_of([100] * 4,
+                         anti_deps=[(k, k + 1) for k in range(3)])
+        with_priv = FutureSimulator(4, privatize=True).schedule(graph)
+        without = FutureSimulator(4, privatize=False).schedule(graph)
+        assert with_priv.makespan == 100
+        assert without.makespan == 400
+
+    def test_spawn_overhead_charged_to_main(self):
+        graph = graph_of([100] * 4)
+        cheap = FutureSimulator(4, spawn_overhead=0).schedule(graph)
+        costly = FutureSimulator(4, spawn_overhead=10).schedule(graph)
+        assert costly.makespan >= cheap.makespan + 10
+
+    def test_empty_graph(self):
+        graph = graph_of([], serial=[500])
+        result = FutureSimulator(4).schedule(graph)
+        assert result.makespan == 500
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            FutureSimulator(0)
+
+    def test_sweep(self):
+        graph = graph_of([100] * 8)
+        results = FutureSimulator(1).sweep(graph, [1, 2, 4])
+        assert results[1].makespan >= results[2].makespan >= \
+            results[4].makespan
+
+
+durations = st.lists(st.integers(1, 200), min_size=1, max_size=16)
+
+
+class TestScheduleInvariants:
+    @settings(max_examples=80, deadline=None)
+    @given(durations, st.integers(1, 8))
+    def test_makespan_bounds(self, durs, workers):
+        graph = graph_of(durs)
+        result = FutureSimulator(workers).schedule(graph)
+        total = sum(durs)
+        assert result.makespan <= total  # never slower than sequential
+        # Cannot beat the perfect distribution or the longest task.
+        lower = max(max(durs), -(-total // workers))
+        assert result.makespan >= lower
+
+    @settings(max_examples=60, deadline=None)
+    @given(durations)
+    def test_monotone_in_workers(self, durs):
+        graph = graph_of(durs)
+        previous = None
+        for workers in (1, 2, 4, 8):
+            result = FutureSimulator(workers).schedule(graph)
+            if previous is not None:
+                assert result.makespan <= previous
+            previous = result.makespan
+
+    @settings(max_examples=60, deadline=None)
+    @given(durations, st.data())
+    def test_dependences_respected(self, durs, data):
+        deps = set()
+        if len(durs) >= 2:
+            pair_count = data.draw(st.integers(0, min(6, len(durs) - 1)))
+            for _ in range(pair_count):
+                j = data.draw(st.integers(1, len(durs) - 1))
+                i = data.draw(st.integers(0, j - 1))
+                deps.add((i, j))
+        graph = graph_of(durs, deps=deps)
+        result = FutureSimulator(3).schedule(graph)
+        for i, j in deps:
+            assert result.task_start[j] >= result.task_finish[i]
+
+    @settings(max_examples=40, deadline=None)
+    @given(durations)
+    def test_full_serialization_with_chain(self, durs):
+        deps = {(k, k + 1) for k in range(len(durs) - 1)}
+        graph = graph_of(durs, deps=deps)
+        result = FutureSimulator(4).schedule(graph)
+        assert result.makespan == sum(durs)

@@ -1,0 +1,269 @@
+"""Heap allocator semantics: malloc/free, recycling, liveness errors.
+
+Includes hypothesis properties over random alloc/free interleavings —
+the allocator invariants (no overlap, zero-fill, containment queries)
+must hold for every sequence.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.lowering import compile_source
+from repro.runtime.errors import MiniCRuntimeError
+from repro.runtime.memory import Memory
+from tests.conftest import run
+
+
+def empty_memory() -> Memory:
+    program = compile_source("int g; int main() { return 0; }")
+    return Memory(program)
+
+
+class TestMallocFreeSemantics:
+    def test_malloc_returns_zeroed_block(self):
+        value, _ = run("""
+        int main() {
+            int *p = malloc(8);
+            int total = 0;
+            int i;
+            for (i = 0; i < 8; i++) { total += p[i]; }
+            free(p);
+            return total;
+        }
+        """)
+        assert value == 0
+
+    def test_recycled_block_is_zeroed(self):
+        value, _ = run("""
+        int main() {
+            int *p = malloc(4);
+            p[0] = 77; p[3] = 99;
+            free(p);
+            int *q = malloc(4);
+            return q[0] + q[3];
+        }
+        """)
+        assert value == 0
+
+    def test_same_size_block_is_recycled(self):
+        _, interp = run("""
+        int main() {
+            int *p = malloc(4);
+            int first = p;
+            free(p);
+            int *q = malloc(4);
+            assert(q == first);
+            return 0;
+        }
+        """)
+        assert interp.memory.heap_allocs == 2
+
+    def test_different_size_not_recycled(self):
+        value, _ = run("""
+        int main() {
+            int *p = malloc(4);
+            int first = p;
+            free(p);
+            int *q = malloc(5);
+            return q != first;
+        }
+        """)
+        assert value == 1
+
+    def test_blocks_are_disjoint(self):
+        value, _ = run("""
+        int main() {
+            int *a = malloc(3);
+            int *b = malloc(3);
+            a[0] = 1; a[1] = 2; a[2] = 3;
+            b[0] = 9; b[1] = 9; b[2] = 9;
+            return a[0] + a[1] + a[2];
+        }
+        """)
+        assert value == 6
+
+    def test_heap_counts_tracked(self):
+        _, interp = run("""
+        int main() {
+            int *a = malloc(2);
+            int *b = malloc(2);
+            free(a);
+            return 0;
+        }
+        """)
+        assert interp.memory.heap_allocs == 2
+        assert interp.memory.heap_frees == 1
+        assert interp.memory.live_heap_words() == 2
+
+
+class TestHeapErrors:
+    def test_double_free(self):
+        with pytest.raises(MiniCRuntimeError):
+            run("int main() { int *p = malloc(2); free(p); free(p); "
+                "return 0; }")
+
+    def test_free_of_interior_pointer(self):
+        with pytest.raises(MiniCRuntimeError):
+            run("int main() { int *p = malloc(4); free(p + 1); return 0; }")
+
+    def test_free_of_stack_address(self):
+        with pytest.raises(MiniCRuntimeError):
+            run("int main() { int x; free(&x); return 0; }")
+
+    def test_use_after_free(self):
+        with pytest.raises(MiniCRuntimeError):
+            run("int main() { int *p = malloc(2); free(p); return p[0]; }")
+
+    def test_store_after_free(self):
+        with pytest.raises(MiniCRuntimeError):
+            run("int main() { int *p = malloc(2); free(p); p[1] = 3; "
+                "return 0; }")
+
+    def test_out_of_block_read(self):
+        # One block, read past its end into never-allocated heap space.
+        with pytest.raises(MiniCRuntimeError):
+            run("int main() { int *p = malloc(2); return p[5]; }")
+
+    def test_malloc_zero_is_error(self):
+        with pytest.raises(MiniCRuntimeError):
+            run("int main() { int *p = malloc(0); return 0; }")
+
+    def test_malloc_negative_is_error(self):
+        with pytest.raises(MiniCRuntimeError):
+            run("int main() { int *p = malloc(-3); return 0; }")
+
+    def test_stack_overflow_reported(self):
+        with pytest.raises(MiniCRuntimeError, match="stack overflow"):
+            run("""
+            int deep(int n) { return deep(n + 1); }
+            int main() { return deep(0); }
+            """)
+
+
+class TestMemoryUnit:
+    def test_heap_base_above_stack_region(self):
+        memory = empty_memory()
+        assert memory.heap_base == memory.program.globals_size + \
+            memory.stack_limit
+
+    def test_check_addr_globals(self):
+        memory = empty_memory()
+        assert not memory.check_addr(0)  # NULL is reserved
+        assert memory.check_addr(1)  # the first global
+
+    def test_check_addr_dead_stack(self):
+        memory = empty_memory()
+        assert not memory.check_addr(memory.stack_top + 10)
+
+    def test_check_addr_negative(self):
+        memory = empty_memory()
+        assert not memory.check_addr(-1)
+
+    def test_check_addr_unallocated_heap(self):
+        memory = empty_memory()
+        assert not memory.check_addr(memory.heap_base + 5)
+
+    def test_block_containment(self):
+        memory = empty_memory()
+        base = memory.heap_alloc(10)
+        assert memory.heap_block_containing(base) == (base, 10)
+        assert memory.heap_block_containing(base + 9) == (base, 10)
+        assert memory.heap_block_containing(base + 10) is None
+
+    def test_heap_names_are_sequential(self):
+        memory = empty_memory()
+        a = memory.heap_alloc(2)
+        b = memory.heap_alloc(2)
+        assert memory.allocations[a][1] == "heap#1"
+        assert memory.allocations[b][1] == "heap#2"
+
+    def test_addr_to_name_heap_element(self):
+        memory = empty_memory()
+        base = memory.heap_alloc(4)
+        assert memory.addr_to_name(base + 2) == "heap#1[2]"
+
+    def test_addr_to_name_single_word_block(self):
+        memory = empty_memory()
+        base = memory.heap_alloc(1)
+        assert memory.addr_to_name(base) == "heap#1"
+
+    def test_addr_to_name_freed_heap(self):
+        memory = empty_memory()
+        base = memory.heap_alloc(2)
+        memory.heap_free(base)
+        assert memory.addr_to_name(base).startswith("heap+")
+
+
+@st.composite
+def alloc_free_script(draw):
+    """A random interleaving of allocations (positive sizes) and frees
+    (by index into the allocations made so far)."""
+    ops = draw(st.lists(
+        st.one_of(
+            st.tuples(st.just("alloc"), st.integers(1, 32)),
+            st.tuples(st.just("free"), st.integers(0, 200)),
+        ),
+        min_size=1, max_size=60))
+    return ops
+
+
+class TestAllocatorProperties:
+    @given(alloc_free_script())
+    @settings(max_examples=60, deadline=None)
+    def test_live_blocks_never_overlap(self, script):
+        memory = empty_memory()
+        live: dict[int, int] = {}
+        order: list[int] = []
+        for op, arg in script:
+            if op == "alloc":
+                base = memory.heap_alloc(arg)
+                assert base >= memory.heap_base
+                for other, size in live.items():
+                    assert base + arg <= other or other + size <= base, \
+                        "overlapping live blocks"
+                live[base] = arg
+                order.append(base)
+            elif order:
+                base = order.pop(arg % len(order))
+                lo, hi = memory.heap_free(base)
+                assert (lo, hi) == (base, base + live.pop(base))
+
+    @given(alloc_free_script())
+    @settings(max_examples=60, deadline=None)
+    def test_containment_matches_live_set(self, script):
+        memory = empty_memory()
+        live: dict[int, int] = {}
+        order: list[int] = []
+        for op, arg in script:
+            if op == "alloc":
+                base = memory.heap_alloc(arg)
+                live[base] = arg
+                order.append(base)
+            elif order:
+                base = order.pop(arg % len(order))
+                memory.heap_free(base)
+                del live[base]
+        for base, size in live.items():
+            assert memory.heap_block_containing(base) == (base, size)
+            assert memory.check_addr(base + size - 1)
+        # One-past-the-end of the top block is dead unless another block
+        # starts there.
+        if live:
+            top = max(live)
+            end = top + live[top]
+            assert memory.heap_block_containing(end) is None or \
+                end in live
+
+    @given(st.lists(st.integers(1, 16), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_alloc_free_alloc_recycles_exact_size(self, sizes):
+        memory = empty_memory()
+        bases = [memory.heap_alloc(size) for size in sizes]
+        for base in bases:
+            memory.heap_free(base)
+        # Re-allocating the same sizes must not grow the heap.
+        top_before = memory.heap_top
+        for size in sizes:
+            memory.heap_alloc(size)
+        assert memory.heap_top == top_before

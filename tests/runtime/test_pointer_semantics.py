@@ -1,0 +1,212 @@
+"""Execution semantics of pointers: C-equivalent behaviour end to end."""
+
+import pytest
+
+from repro.runtime.errors import MiniCRuntimeError
+from tests.conftest import outputs, run
+
+
+class TestBasicPointers:
+    def test_addr_of_and_deref_scalar(self):
+        value, _ = run("""
+        int main() {
+            int x = 5;
+            int *p = &x;
+            *p = *p + 2;
+            return x;
+        }
+        """)
+        assert value == 7
+
+    def test_pointer_to_global(self):
+        value, _ = run("""
+        int g = 10;
+        int main() {
+            int *p = &g;
+            *p *= 3;
+            return g;
+        }
+        """)
+        assert value == 30
+
+    def test_pointer_indexing_reads_like_array(self):
+        value, _ = run("""
+        int a[4];
+        int main() {
+            int i;
+            for (i = 0; i < 4; i++) { a[i] = i * i; }
+            int *p = a;
+            return p[0] + p[1] + p[2] + p[3];
+        }
+        """)
+        assert value == 0 + 1 + 4 + 9
+
+    def test_pointer_arithmetic_matches_indexing(self):
+        value, _ = run("""
+        int a[6];
+        int main() {
+            int i;
+            for (i = 0; i < 6; i++) { a[i] = i + 100; }
+            int *p = &a[2];
+            assert(*(p + 1) == p[1]);
+            assert(*(p - 1) == a[1]);
+            return *(p + 3);
+        }
+        """)
+        assert value == 105
+
+    def test_swap_through_pointers(self):
+        assert outputs("""
+        void swap(int *x, int *y) {
+            int tmp = *x;
+            *x = *y;
+            *y = tmp;
+        }
+        int main() {
+            int a = 1;
+            int b = 2;
+            swap(&a, &b);
+            print(a, b);
+            return 0;
+        }
+        """) == [(2, 1)]
+
+    def test_interior_pointer_into_array_param(self):
+        # The gzip pattern: flush_block(&window[k], ...).
+        value, _ = run("""
+        int window[16];
+        int f(int buf[], int n) {
+            int total = 0;
+            int i;
+            for (i = 0; i < n; i++) { total += buf[i]; }
+            return total;
+        }
+        int main() {
+            int i;
+            for (i = 0; i < 16; i++) { window[i] = i; }
+            return f(&window[4], 4);
+        }
+        """)
+        assert value == 4 + 5 + 6 + 7
+
+    def test_pointer_param_accepts_array_name(self):
+        value, _ = run("""
+        int sum3(int *p) { return p[0] + p[1] + p[2]; }
+        int buf[3];
+        int main() {
+            buf[0] = 1; buf[1] = 2; buf[2] = 4;
+            return sum3(buf);
+        }
+        """)
+        assert value == 7
+
+    def test_array_param_accepts_pointer_value(self):
+        value, _ = run("""
+        int first(int a[]) { return a[0]; }
+        int main() {
+            int *p = malloc(2);
+            p[0] = 42;
+            int v = first(p);
+            free(p);
+            return v;
+        }
+        """)
+        assert value == 42
+
+    def test_pointer_reassignment_walks_array(self):
+        value, _ = run("""
+        int a[5];
+        int main() {
+            int i;
+            for (i = 0; i < 5; i++) { a[i] = i; }
+            int *p = a;
+            int total = 0;
+            while (p != &a[5 - 1] + 1) {
+                total += *p;
+                p = p + 1;
+            }
+            return total;
+        }
+        """)
+        assert value == 10
+
+    def test_double_indirection(self):
+        value, _ = run("""
+        int main() {
+            int x = 9;
+            int *p = &x;
+            int **q = &p;
+            **q = 11;
+            return x;
+        }
+        """)
+        assert value == 11
+
+    def test_pointer_comparison_and_null(self):
+        value, _ = run("""
+        int main() {
+            int *p = 0;
+            if (p == 0) { p = malloc(1); }
+            *p = 5;
+            int v = *p;
+            free(p);
+            return v;
+        }
+        """)
+        assert value == 5
+
+    def test_function_returning_pointer(self):
+        value, _ = run("""
+        int *make_pair(int a, int b) {
+            int *p = malloc(2);
+            p[0] = a;
+            p[1] = b;
+            return p;
+        }
+        int main() {
+            int *pair = make_pair(3, 4);
+            int v = pair[0] * pair[1];
+            free(pair);
+            return v;
+        }
+        """)
+        assert value == 12
+
+
+class TestPointerErrors:
+    def test_deref_null_is_error(self):
+        with pytest.raises(MiniCRuntimeError):
+            run("int main() { int *p = 0; return *p; }")
+
+    def test_deref_dead_stack_is_error(self):
+        with pytest.raises(MiniCRuntimeError):
+            run("""
+            int *escape() {
+                int local = 3;
+                return &local;
+            }
+            int main() {
+                int *p = escape();
+                return *p;
+            }
+            """)
+
+    def test_wild_store_is_error(self):
+        with pytest.raises(MiniCRuntimeError):
+            run("int main() { int *p = 99999999; *p = 1; return 0; }")
+
+    def test_scalar_cannot_be_indexed(self):
+        from repro.lang.errors import SemanticError
+        with pytest.raises(SemanticError):
+            run("int main() { int x; return x[0]; }")
+
+    def test_pointer_variable_can_be_indexed(self):
+        value, _ = run("""
+        int a[2];
+        int main() {
+            a[1] = 8;
+            int *p = a;
+            return p[1];
+        }
+        """)
+        assert value == 8

@@ -1,0 +1,277 @@
+"""Execution semantics of `switch` (C fall-through rules) and `goto`."""
+
+import pytest
+
+from repro.lang.errors import SemanticError
+from tests.conftest import outputs, run
+
+
+class TestSwitchExecution:
+    def test_selects_matching_case(self):
+        value, _ = run("""
+        int pick(int x) {
+            switch (x) {
+                case 1: return 10;
+                case 2: return 20;
+                case 3: return 30;
+            }
+            return -1;
+        }
+        int main() { return pick(2); }
+        """)
+        assert value == 20
+
+    def test_no_match_no_default_skips(self):
+        value, _ = run("""
+        int main() {
+            int y = 7;
+            switch (99) { case 1: y = 1; }
+            return y;
+        }
+        """)
+        assert value == 7
+
+    def test_default_taken_when_no_match(self):
+        value, _ = run("""
+        int main() {
+            switch (42) {
+                case 1: return 1;
+                default: return 99;
+            }
+        }
+        """)
+        assert value == 99
+
+    def test_fall_through(self):
+        value, _ = run("""
+        int main() {
+            int total = 0;
+            switch (2) {
+                case 1: total += 1;
+                case 2: total += 2;
+                case 3: total += 4;
+                default: total += 8;
+            }
+            return total;
+        }
+        """)
+        assert value == 2 + 4 + 8
+
+    def test_break_stops_fall_through(self):
+        value, _ = run("""
+        int main() {
+            int total = 0;
+            switch (1) {
+                case 1: total += 1; break;
+                case 2: total += 2;
+            }
+            return total;
+        }
+        """)
+        assert value == 1
+
+    def test_default_in_middle_fall_through(self):
+        # C semantics: default in the middle falls through to case 5.
+        value, _ = run("""
+        int main() {
+            int total = 0;
+            switch (77) {
+                case 1: total += 1;
+                default: total += 2;
+                case 5: total += 4;
+            }
+            return total;
+        }
+        """)
+        assert value == 6
+
+    def test_empty_cases_share_body(self):
+        value, _ = run("""
+        int classify(int c) {
+            switch (c) {
+                case 0:
+                case 1:
+                case 2: return 100;
+                case 3: return 200;
+            }
+            return 300;
+        }
+        int main() {
+            return classify(0) + classify(1) + classify(3) + classify(9);
+        }
+        """)
+        assert value == 100 + 100 + 200 + 300
+
+    def test_break_in_switch_inside_loop_stays_in_loop(self):
+        value, _ = run("""
+        int main() {
+            int i;
+            int total = 0;
+            for (i = 0; i < 4; i++) {
+                switch (i % 2) {
+                    case 0: total += 10; break;
+                    case 1: total += 1; break;
+                }
+            }
+            return total;
+        }
+        """)
+        assert value == 22
+
+    def test_continue_inside_switch_targets_loop(self):
+        value, _ = run("""
+        int main() {
+            int i;
+            int total = 0;
+            for (i = 0; i < 5; i++) {
+                switch (i) {
+                    case 2: continue;
+                    default: break;
+                }
+                total += i;
+            }
+            return total;
+        }
+        """)
+        assert value == 0 + 1 + 3 + 4
+
+    def test_scrutinee_evaluated_once(self):
+        assert outputs("""
+        int calls;
+        int effect() { calls++; return 2; }
+        int main() {
+            switch (effect()) {
+                case 1: break;
+                case 2: break;
+                case 3: break;
+            }
+            print(calls);
+            return 0;
+        }
+        """) == [(1,)]
+
+    def test_nested_switch(self):
+        value, _ = run("""
+        int main() {
+            switch (1) {
+                case 1:
+                    switch (2) {
+                        case 2: return 22;
+                        default: return 20;
+                    }
+                case 3: return 3;
+            }
+            return 0;
+        }
+        """)
+        assert value == 22
+
+    def test_constant_case_expressions(self):
+        value, _ = run("""
+        int main() {
+            switch (12) {
+                case 4 * 3: return 1;
+                default: return 0;
+            }
+        }
+        """)
+        assert value == 1
+
+    def test_duplicate_case_values_rejected(self):
+        with pytest.raises(SemanticError):
+            run("int main() { switch (1) { case 2: return 1; "
+                "case 1 + 1: return 2; } return 0; }")
+
+    def test_non_constant_case_rejected(self):
+        with pytest.raises(SemanticError):
+            run("int main() { int x = 1; switch (1) "
+                "{ case x: return 1; } return 0; }")
+
+    def test_break_outside_loop_or_switch_rejected(self):
+        with pytest.raises(SemanticError):
+            run("int main() { break; return 0; }")
+
+    def test_continue_inside_switch_only_rejected(self):
+        with pytest.raises(SemanticError):
+            run("int main() { switch (1) { case 1: continue; } return 0; }")
+
+
+class TestGotoExecution:
+    def test_forward_goto_skips(self):
+        value, _ = run("""
+        int main() {
+            int x = 1;
+            goto out;
+            x = 99;
+            out:
+            return x;
+        }
+        """)
+        assert value == 1
+
+    def test_backward_goto_loops(self):
+        value, _ = run("""
+        int main() {
+            int i = 0;
+            int total = 0;
+            top:
+            total += i;
+            i++;
+            if (i < 5) { goto top; }
+            return total;
+        }
+        """)
+        assert value == 10
+
+    def test_goto_out_of_nested_loops(self):
+        value, _ = run("""
+        int main() {
+            int i;
+            int j;
+            int hits = 0;
+            for (i = 0; i < 10; i++) {
+                for (j = 0; j < 10; j++) {
+                    hits++;
+                    if (i * 10 + j == 23) { goto done; }
+                }
+            }
+            done:
+            return hits;
+        }
+        """)
+        assert value == 24
+
+    def test_goto_cleanup_pattern(self):
+        # The classic C error-handling idiom.
+        value, _ = run("""
+        int process(int fail) {
+            int *buf = malloc(4);
+            int result = 0;
+            if (fail) { result = -1; goto cleanup; }
+            buf[0] = 5;
+            result = buf[0];
+            cleanup:
+            free(buf);
+            return result;
+        }
+        int main() {
+            return process(0) + process(1);
+        }
+        """)
+        assert value == 4
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(SemanticError):
+            run("int main() { goto nowhere; return 0; }")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(SemanticError):
+            run("int main() { x: return 0; x: return 1; }")
+
+    def test_labels_are_function_scoped(self):
+        value, _ = run("""
+        int f() { goto end; end: return 1; }
+        int g() { goto end; end: return 2; }
+        int main() { return f() + g(); }
+        """)
+        assert value == 3

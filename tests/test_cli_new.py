@@ -1,0 +1,107 @@
+"""CLI tests for the tree command, --extra workloads, and pointer
+programs through the profile command."""
+
+import pytest
+
+from repro.cli import main
+
+POINTER_PROG = """
+int results[4];
+int total;
+int crunch(int *buf, int n) {
+    int acc = 0;
+    int i;
+    for (i = 0; i < n; i++) { acc += buf[i]; }
+    return acc;
+}
+int main() {
+    int round;
+    for (round = 0; round < 4; round++) {
+        int *block = malloc(8);
+        int i;
+        for (i = 0; i < 8; i++) { block[i] = round * 8 + i; }
+        results[round] = crunch(block, 8);
+        free(block);
+    }
+    for (round = 0; round < 4; round++) { total += results[round]; }
+    print(total);
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def pointer_file(tmp_path):
+    path = tmp_path / "pointers.mc"
+    path.write_text(POINTER_PROG)
+    return str(path)
+
+
+class TestTreeCommand:
+    def test_tree_renders(self, pointer_file, capsys):
+        assert main(["tree", pointer_file]) == 0
+        out = capsys.readouterr().out
+        assert "main" in out
+        assert "crunch" in out
+        assert "loop" in out
+
+    def test_tree_depth_limit(self, pointer_file, capsys):
+        assert main(["tree", pointer_file, "--depth", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "main" in out
+        assert "crunch" not in out
+
+    def test_tree_truncation(self, pointer_file, capsys):
+        assert main(["tree", pointer_file, "--max-nodes", "5"]) == 0
+        captured = capsys.readouterr()
+        assert "truncated" in captured.out or "truncated" in captured.err
+
+
+class TestPointerPrograms:
+    def test_run_pointer_program(self, pointer_file, capsys):
+        assert main(["run", pointer_file]) == 0
+        assert "496" in capsys.readouterr().out  # sum of 0..31
+
+    def test_profile_pointer_program(self, pointer_file, capsys):
+        assert main(["profile", pointer_file, "--top", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "crunch" in out
+
+    def test_speedup_on_heap_loop(self, pointer_file, capsys):
+        # Line 12 is the per-round loop.
+        line = next(i for i, text in
+                    enumerate(POINTER_PROG.splitlines(), start=1)
+                    if "round < 4" in text and "round++" in text)
+        assert main(["speedup", pointer_file, "--line", str(line),
+                     "--workers", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "T_par" in out and "tasks" in out
+
+
+class TestAnnotateCommand:
+    def test_annotate_renders_guidance(self, pointer_file, capsys):
+        line = next(i for i, text in
+                    enumerate(POINTER_PROG.splitlines(), start=1)
+                    if "round < 4" in text and "results[round]" not in text)
+        assert main(["annotate", pointer_file, "--line", str(line)]) == 0
+        out = capsys.readouterr().out
+        assert "verdict:" in out
+        assert "SPAWN" in out or "DO NOT SPAWN" in out
+
+    def test_annotate_bad_line_fails_cleanly(self, pointer_file, capsys):
+        assert main(["annotate", pointer_file, "--line", "1"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestWorkloadsExtra:
+    def test_default_lists_table3_only(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "gzip" in out
+        assert "wordcount" not in out
+
+    def test_extra_flag_includes_heap_workloads(self, capsys):
+        assert main(["workloads", "--extra"]) == 0
+        out = capsys.readouterr().out
+        assert "wordcount" in out
+        assert "lisp-cons" in out

@@ -1,0 +1,134 @@
+"""Correctness and profile-shape tests for the heap-centric workloads."""
+
+import pytest
+
+from repro.core.alchemist import Alchemist
+from repro.core.profile_data import DepKind
+from repro.ir import compile_source
+from repro.parallel import estimate_speedup
+from repro.runtime import run_source
+from repro.workloads import EXTRA_ORDER, extra_workloads, get
+
+
+@pytest.fixture(scope="module")
+def reports():
+    alch = Alchemist()
+    return {w.name: (w, alch.profile(w.source))
+            for w in extra_workloads(0.5)}
+
+
+class TestExecution:
+    @pytest.mark.parametrize("name", EXTRA_ORDER)
+    def test_runs_clean_and_deterministic(self, name):
+        workload = get(name, 0.5)
+        v1, i1 = run_source(workload.source)
+        v2, i2 = run_source(workload.source)
+        assert v1 == v2 == 0
+        assert i1.output == i2.output
+        assert len(i1.output) == workload.expected_outputs
+
+    @pytest.mark.parametrize("name", EXTRA_ORDER)
+    def test_all_heap_blocks_freed(self, name):
+        workload = get(name, 0.5)
+        _, interp = run_source(workload.source)
+        assert interp.memory.heap_allocs > 10
+        assert interp.memory.heap_allocs == interp.memory.heap_frees
+        assert interp.memory.live_heap_words() == 0
+
+    @pytest.mark.parametrize("name", EXTRA_ORDER)
+    def test_markers_resolve(self, name):
+        workload = get(name, 0.5)
+        for target, line in workload.target_lines():
+            text = workload.source.splitlines()[line - 1]
+            assert target.marker in text
+
+    @pytest.mark.parametrize("name", EXTRA_ORDER)
+    def test_scales(self, name):
+        _, small = run_source(get(name, 0.5).source)
+        _, big = run_source(get(name, 1.5).source)
+        assert big.time > small.time
+
+    def test_registry_exposes_extras(self):
+        from repro.workloads import names
+        assert "wordcount" not in names()
+        assert "wordcount" in names(include_extra=True)
+        assert "lisp-cons" in names(include_extra=True)
+
+
+class TestWordcountProfile:
+    def test_query_loop_conflicts_on_lookups_counter(self, reports):
+        """The query loop's cross-iteration violations concentrate on
+        the shared `lookups` counter — the privatization hint."""
+        workload, report = reports["wordcount"]
+        _, line = workload.primary_target()
+        view = report.views_at_line(line)[0]
+        conflict_vars = set()
+        for kind in (DepKind.RAW, DepKind.WAW, DepKind.WAR):
+            conflict_vars |= {e.var_hint.split("[")[0]
+                              for e in view.violating(kind)}
+        assert "lookups" in conflict_vars, conflict_vars
+
+    def test_query_loop_no_heap_violations(self, reports):
+        """Queries only read the dictionary, so no violating RAW edge of
+        the query loop may involve heap words."""
+        workload, report = reports["wordcount"]
+        _, line = workload.primary_target()
+        view = report.views_at_line(line)[0]
+        heap_violations = [e for e in view.violating(DepKind.RAW)
+                           if e.var_hint.startswith("heap#")]
+        assert heap_violations == []
+
+    def test_build_phase_has_heap_dependences(self, reports):
+        """Insertions rewire chain nodes: the build loop must carry RAW
+        dependences through heap words (the table and node links)."""
+        workload, report = reports["wordcount"]
+        build_line = workload.line_of("SERIAL-WORDCOUNT-BUILD")
+        view = report.views_at_line(build_line)[0]
+        heap_edges = [e for e in view.edges(DepKind.RAW)
+                      if e.var_hint.startswith("heap#")]
+        assert heap_edges
+
+    def test_query_loop_parallelizes_after_privatization(self):
+        workload = get("wordcount", 1.0)
+        target, line = workload.primary_target()
+        program = compile_source(workload.source)
+        result = estimate_speedup(program=program, line=line, workers=4,
+                                  private_vars=target.private_vars)
+        assert result.speedup > 1.5
+
+
+class TestLispConsProfile:
+    def test_no_cross_iteration_heap_dependences(self, reports):
+        """Trees are freed per batch iteration and their addresses are
+        recycled by the next iteration. With shadow clearing on free,
+        the batch loop's violating RAW edges involve only genuinely
+        shared globals — never recycled heap cells."""
+        workload, report = reports["lisp-cons"]
+        _, line = workload.primary_target()
+        view = report.views_at_line(line)[0]
+        heap_violations = [e for e in view.violating(DepKind.RAW)
+                           if e.var_hint.startswith("heap#")]
+        assert heap_violations == [], [
+            (e.var_hint, e.min_tdep) for e in heap_violations]
+
+    def test_shared_state_dependences_remain(self, reports):
+        workload, report = reports["lisp-cons"]
+        _, line = workload.primary_target()
+        view = report.views_at_line(line)[0]
+        conflict_vars = set()
+        for kind in (DepKind.RAW, DepKind.WAW, DepKind.WAR):
+            conflict_vars |= {e.var_hint.split("[")[0]
+                              for e in view.violating(kind)}
+        assert "load_state" in conflict_vars or \
+            "exprs_loaded" in conflict_vars, conflict_vars
+
+    def test_recursive_eval_counted_once(self, reports):
+        _, report = reports["lisp-cons"]
+        xeval = next(v for v in report.constructs() if v.name == "xeval")
+        assert xeval.total_duration < report.stats.instructions
+
+    def test_free_tree_recursion_balances(self, reports):
+        _, report = reports["lisp-cons"]
+        free_tree = next(v for v in report.constructs()
+                         if v.name == "free_tree")
+        assert free_tree.instances > 0

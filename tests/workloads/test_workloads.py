@@ -1,0 +1,213 @@
+"""Workload correctness and profile-shape tests.
+
+Every benchmark port must run deterministically, and its profile must
+show the qualitative features the paper's evaluation reports for it.
+"""
+
+import pytest
+
+from repro.core.alchemist import Alchemist
+from repro.core.profile_data import DepKind
+from repro.ir import compile_source
+from repro.parallel import estimate_speedup
+from repro.runtime import run_source
+from repro.workloads import TABLE3_ORDER, all_workloads, get
+
+SMALL = 0.5  # scale for the cheaper runs
+
+
+@pytest.fixture(scope="module")
+def reports():
+    """Profile every workload once (module-scoped: reused across tests)."""
+    alch = Alchemist()
+    return {w.name: (w, alch.profile(w.source))
+            for w in all_workloads(SMALL)}
+
+
+class TestExecution:
+    @pytest.mark.parametrize("name", TABLE3_ORDER)
+    def test_runs_clean_and_deterministic(self, name):
+        workload = get(name, SMALL)
+        v1, i1 = run_source(workload.source)
+        v2, i2 = run_source(workload.source)
+        assert v1 == v2 == 0
+        assert i1.output == i2.output
+        assert len(i1.output) == workload.expected_outputs
+
+    @pytest.mark.parametrize("name", TABLE3_ORDER)
+    def test_markers_resolve(self, name):
+        workload = get(name, SMALL)
+        for target, line in workload.target_lines():
+            assert line > 0
+            text = workload.source.splitlines()[line - 1]
+            assert target.marker in text
+
+    @pytest.mark.parametrize("name", TABLE3_ORDER)
+    def test_scales(self, name):
+        small = get(name, 0.5)
+        big = get(name, 1.0)
+        _, interp_small = run_source(small.source)
+        _, interp_big = run_source(big.source)
+        assert interp_big.time > interp_small.time
+
+    def test_registry_round_trip(self):
+        assert set(TABLE3_ORDER) == {w.name for w in all_workloads(SMALL)}
+        with pytest.raises(KeyError):
+            get("nonesuch")
+
+
+class TestProfileShapes:
+    def test_every_workload_profiles(self, reports):
+        for name, (workload, report) in reports.items():
+            assert report.stats.instructions > 1000, name
+            assert report.stats.dynamic_instances > 10, name
+            assert report.constructs(), name
+
+    def test_gzip_flush_block_shape(self, reports):
+        _, report = reports["gzip"]
+        fb = next(v for v in report.constructs() if v.name == "flush_block")
+        assert fb.instances >= 4  # several flushes per run
+        retval = [e for e in fb.edges(DepKind.RAW)
+                  if e.var_hint.startswith("retval(")]
+        assert retval and min(e.min_tdep for e in retval) == 1
+        waw_vars = {e.var_hint.split("[")[0] for e in fb.edges(DepKind.WAW)}
+        assert "outcnt" in waw_vars
+
+    def test_gzip_file_loop_is_top_candidate(self, reports):
+        _, report = reports["gzip"]
+        loops = [v for v in report.top_constructs(4)
+                 if v.static.is_loop and v.fn_name == "main"]
+        assert loops, "the per-file loop must rank among the largest"
+
+    def test_parser_dictionary_larger_but_io_bound(self, reports):
+        """Fig. 6(c): C1/C2 (dictionary) outweigh C3 (sentence loop) and
+        carry the input-cursor chain; C3's violations are counters."""
+        _, report = reports["197.parser"]
+        dict_loop = next(v for v in report.constructs()
+                         if v.static.is_loop
+                         and v.fn_name == "read_dictionary")
+        sentence_loop = next(v for v in report.constructs()
+                             if v.static.is_loop and v.fn_name == "main")
+        assert dict_loop.total_duration > sentence_loop.total_duration
+        # The dictionary loop's cursor chain:
+        hints = {e.var_hint for e in dict_loop.violating(DepKind.RAW)}
+        assert "in_state" in hints
+        # The sentence loop's violations are the shared counters.
+        sentence_hints = {e.var_hint
+                          for e in sentence_loop.violating(DepKind.RAW)}
+        assert "total_cost" in sentence_hints or \
+            "sentences_parsed" in sentence_hints
+
+    def test_lisp_xlload_slightly_larger_than_batch(self, reports):
+        """Fig. 6(d): C1 (xlload) executes slightly more instructions
+        than C2 (the batch loop's eval side) thanks to the initial call
+        before the loop."""
+        _, report = reports["130.li"]
+        xlload = next(v for v in report.constructs()
+                      if v.name == "xlload")
+        batch = next(v for v in report.constructs()
+                     if v.static.is_loop and v.fn_name == "main")
+        assert xlload.instances == batch.instances + 1
+
+    def test_lisp_recursion_counted_once(self, reports):
+        _, report = reports["130.li"]
+        xeval = next(v for v in report.constructs() if v.name == "xeval")
+        total = report.stats.instructions
+        assert xeval.total_duration < total  # no recursive double count
+
+    def test_bzip2_bzf_conflicts(self, reports):
+        """Table IV: the file loop's WAW conflicts concentrate on the
+        shared bzf stream state."""
+        workload, report = reports["bzip2"]
+        target, line = workload.target_lines()[0]
+        view = report.views_at_line(line)[0]
+        waw_vars = {e.var_hint.split("[")[0]
+                    for e in view.violating(DepKind.WAW)}
+        assert any(v.startswith("bzf_") or v == "stream_crc"
+                   for v in waw_vars)
+
+    def test_aes_ivec_conflicts(self, reports):
+        """Table IV: WAW/WAR conflicts on ivec for the CTR loop."""
+        workload, report = reports["aes"]
+        _, line = workload.primary_target()
+        view = report.views_at_line(line)[0]
+        conflict_vars = {e.var_hint.split("[")[0]
+                         for e in view.violating(DepKind.WAW)}
+        conflict_vars |= {e.var_hint.split("[")[0]
+                          for e in view.violating(DepKind.WAR)}
+        assert "ivec" in conflict_vars
+
+    def test_ogg_errors_and_samples_conflicts(self, reports):
+        """Table IV / §IV-B.2: conflicts on the errors flag and the
+        samples-read counter."""
+        workload, report = reports["ogg"]
+        _, line = workload.primary_target()
+        view = report.views_at_line(line)[0]
+        all_vars = set()
+        for kind in (DepKind.RAW, DepKind.WAW, DepKind.WAR):
+            all_vars |= {e.var_hint for e in view.violating(kind)}
+        assert "samples_read" in all_vars
+        assert any("errors" in v for v in all_vars) or "outlen" in all_vars
+
+    def test_par2_file_close_conflict(self, reports):
+        """§IV-B.2: 'Alchemist detected a conflict when a file is
+        closed' — the nopen counter in the open loop."""
+        workload, report = reports["par2"]
+        open_target = next((t, line) for t, line in workload.target_lines()
+                           if t.marker == "PARALLEL-PAR2-OPEN")
+        view = report.views_at_line(open_target[1])[0]
+        conflict_vars = set()
+        for kind in (DepKind.RAW, DepKind.WAW, DepKind.WAR):
+            conflict_vars |= {e.var_hint for e in view.violating(kind)}
+        assert "nopen" in conflict_vars
+
+    def test_delaunay_heavily_blocked(self, reports):
+        """§IV-B.1: the compute-heavy constructs carry many violating
+        static RAW dependences."""
+        _, report = reports["delaunay"]
+        refine = next(v for v in report.constructs()
+                      if v.static.is_loop and v.fn_name == "main")
+        assert refine.violating_count(DepKind.RAW) >= 15
+        biggest_loop = next(v for v in report.constructs()
+                            if v.static.is_loop)
+        assert biggest_loop.violating_count(DepKind.RAW) >= 10
+
+
+class TestSpeedupShapes:
+    """Table V: who wins and by roughly what factor."""
+
+    def _speedup(self, name, workers=4):
+        # Full scale: the near-linear cases need one file per worker,
+        # as in the paper's 4-thread runs.
+        workload = get(name, 1.0)
+        target, line = workload.primary_target()
+        program = compile_source(workload.source)
+        return estimate_speedup(program=program, line=line, workers=workers,
+                                private_vars=target.private_vars).speedup
+
+    def test_bzip2_near_linear(self):
+        assert self._speedup("bzip2") > 2.5
+
+    def test_ogg_near_linear(self):
+        assert self._speedup("ogg") > 2.5
+
+    def test_par2_sublinear_but_wins(self):
+        speedup = self._speedup("par2")
+        assert 1.3 < speedup < 3.2
+
+    def test_aes_sublinear_but_wins(self):
+        speedup = self._speedup("aes")
+        assert 1.3 < speedup < 3.2
+
+    def test_delaunay_no_speedup(self):
+        workload = get("delaunay", SMALL)
+        _, line = workload.primary_target()
+        program = compile_source(workload.source)
+        result = estimate_speedup(program=program, line=line, workers=4)
+        assert result.speedup < 1.15
+
+    def test_ranking_matches_paper(self):
+        """ogg/bzip2 (near-linear) beat par2/aes (serial-bound)."""
+        near_linear = min(self._speedup("bzip2"), self._speedup("ogg"))
+        serial_bound = max(self._speedup("par2"), self._speedup("aes"))
+        assert near_linear > serial_bound
