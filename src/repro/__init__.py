@@ -34,6 +34,10 @@ Subpackages
     MiniC ports of the paper's eight evaluation benchmarks.
 ``repro.bench``
     Harness that regenerates every table and figure of the paper.
+``repro.trace``
+    Record/replay: capture one execution as a compact trace, then
+    replay it through many analyses (dependence profile, reuse
+    distance, hot addresses) without re-running the interpreter.
 """
 
 from repro.version import __version__
@@ -44,6 +48,8 @@ __all__ = [
     "ProfileReport",
     "Advisor",
     "record_index_tree",
+    "record_source",
+    "replay_trace",
     "__version__",
 ]
 
@@ -55,6 +61,8 @@ _LAZY = {
     "ProfileReport": ("repro.core.report", "ProfileReport"),
     "Advisor": ("repro.core.advisor", "Advisor"),
     "record_index_tree": ("repro.core.treedump", "record_index_tree"),
+    "record_source": ("repro.trace.writer", "record_source"),
+    "replay_trace": ("repro.trace.replay", "replay_trace"),
 }
 
 

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+import time
+from dataclasses import asdict, dataclass
 
 from repro.core.alchemist import Alchemist, ProfileOptions
 from repro.core.profile_data import DepKind
@@ -253,3 +255,129 @@ def fig6_data(scale: float = 1.0, top: int = 12) -> dict[str, Fig6Panel]:
               "RAW dependences"),
     )
     return panels
+
+
+# ---------------------------------------------------------------------------
+# Trace subsystem — replay-vs-rerun speedup (BENCH_trace.json)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TraceBenchRow:
+    """One workload's record-once-replay-many comparison.
+
+    ``live_seconds`` is the honest baseline: one *live instrumented run
+    per analysis* (the dependence profiler via ``Alchemist.profile``,
+    the other consumers attached directly to an interpreter run — every
+    consumer doubles as a live tracer). ``record + replay`` answers the
+    same N questions with a single execution.
+    """
+
+    name: str
+    analyses: tuple[str, ...]
+    live_seconds: float
+    record_seconds: float
+    replay_seconds: float
+    events: int
+    trace_bytes: int
+
+    @property
+    def replay_total(self) -> float:
+        return self.record_seconds + self.replay_seconds
+
+    @property
+    def speedup(self) -> float:
+        if self.replay_total <= 0:
+            return float("nan")
+        return self.live_seconds / self.replay_total
+
+
+def trace_bench_rows(names: list[str] | None = None, scale: float = 0.5,
+                     analyses: tuple[str, ...] = ("dep", "locality", "hot"),
+                     repeats: int = 1) -> list[TraceBenchRow]:
+    """Measure record+replay vs. N live instrumented runs per workload.
+
+    ``repeats`` > 1 keeps the minimum of several timings per side,
+    damping scheduler noise on small workloads.
+    """
+    import os
+    import tempfile
+
+    from repro.runtime.interpreter import run_source
+    from repro.trace.replay import make_consumers, replay_trace
+    from repro.trace.writer import record_source
+
+    from repro.workloads import names as workload_names
+
+    rows = []
+    for name in (names if names is not None else workload_names()):
+        workload = get(name, scale)
+        source = workload.source
+
+        # Untimed warmup: both sides touch the same code paths once, so
+        # first-measurement effects (imports, allocator growth) don't
+        # land on whichever side happens to run first.
+        with tempfile.TemporaryDirectory() as tmp:
+            warm = os.path.join(tmp, "warm.trace")
+            record_source(source, warm)
+            replay_trace(warm, analyses)
+        Alchemist().profile(source)
+
+        live_best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for analysis in analyses:
+                if analysis == "dep":
+                    Alchemist().profile(source)
+                else:
+                    run_source(source, tracer=make_consumers([analysis])[0])
+            live_best = min(live_best, time.perf_counter() - start)
+
+        record_best = float("inf")
+        replay_best = float("inf")
+        events = trace_bytes = 0
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, f"{name}.trace")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                recorded = record_source(source, path)
+                record_best = min(record_best,
+                                  time.perf_counter() - start)
+                events, trace_bytes = recorded.events, recorded.trace_bytes
+                start = time.perf_counter()
+                replay_trace(path, analyses)
+                replay_best = min(replay_best,
+                                  time.perf_counter() - start)
+        rows.append(TraceBenchRow(
+            name=name, analyses=tuple(analyses), live_seconds=live_best,
+            record_seconds=record_best, replay_seconds=replay_best,
+            events=events, trace_bytes=trace_bytes))
+    return rows
+
+
+def trace_bench(names: list[str] | None = None, scale: float = 0.5,
+                analyses: tuple[str, ...] = ("dep", "locality", "hot"),
+                out_path: str | None = "BENCH_trace.json",
+                repeats: int = 2) -> dict:
+    """The BENCH_trace.json artifact: per-workload rows plus totals."""
+    rows = trace_bench_rows(names, scale, analyses, repeats)
+    live = sum(r.live_seconds for r in rows)
+    rec = sum(r.record_seconds for r in rows)
+    rep = sum(r.replay_seconds for r in rows)
+    data = {
+        "bench": "trace_replay_vs_rerun",
+        "scale": scale,
+        "analyses": list(analyses),
+        "repeats": repeats,
+        "rows": [dict(asdict(r), speedup=r.speedup) for r in rows],
+        "total": {
+            "live_seconds": live,
+            "record_seconds": rec,
+            "replay_seconds": rep,
+            "speedup": live / (rec + rep) if rec + rep > 0 else float("nan"),
+        },
+    }
+    if out_path:
+        with open(out_path, "w") as handle:
+            json.dump(data, handle, indent=2)
+            handle.write("\n")
+    return data

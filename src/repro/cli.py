@@ -14,6 +14,15 @@ Subcommands
 ``annotate FILE --line N``
     Render the transformation guidance for the construct at line N as
     an annotated source listing (spawn/join/privatize markers).
+``record FILE -o x.trace``
+    Execute once under the trace recorder; every interpreter event is
+    streamed into a compact self-contained trace file.
+``replay x.trace --analysis dep,locality,hot``
+    Replay a recorded trace through any subset of analyses — no
+    re-execution; N analyses cost one recorded run plus N cheap passes.
+``batch``
+    Record and replay many workloads concurrently (multiprocessing);
+    ``--bench`` also writes the replay-vs-rerun speedup artifact.
 ``workloads``
     List the bundled benchmark ports.
 ``experiments``
@@ -99,6 +108,85 @@ def _cmd_tree(args: argparse.Namespace) -> int:
           f"{'; truncated' if tree.truncated else ''}]",
           file=sys.stderr)
     return 0
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    from repro.trace import record_source
+
+    out = args.out or (args.file + ".trace")
+    result = record_source(_read(args.file), out, filename=args.file)
+    print(f"recorded {result.events} events ({result.trace_bytes} bytes, "
+          f"{result.final_time} instructions) -> {result.path}")
+    print(f"[exit {result.exit_value}; {result.wall_seconds:.3f}s]",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.trace import TraceError, replay_trace
+
+    try:
+        outcome = replay_trace(args.trace, args.analysis)
+    except (TraceError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    ctx = outcome.context
+    print(f"replayed {ctx.events} events ({ctx.final_time} instructions) "
+          f"through {len(outcome.consumers)} analysis(es) "
+          f"in {ctx.wall_seconds:.3f}s")
+    print()
+    print(outcome.describe())
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.trace.batch import record_replay_many
+    from repro.workloads import names as workload_names
+
+    names = ([n.strip() for n in args.workloads.split(",") if n.strip()]
+             if args.workloads else workload_names())
+    analyses = tuple(n.strip() for n in args.analysis.split(",")
+                     if n.strip())
+    report = record_replay_many(names, args.out_dir, analyses=analyses,
+                                workers=args.workers, scale=args.scale)
+    print(report.describe())
+    failed = [r for r in report.records + report.replays if not r.ok]
+    if args.bench:
+        from repro.bench.harness import trace_bench
+        from repro.trace import TraceError
+
+        # Bench only what actually recorded; a bad workload name or a
+        # failed record is already reported above, not a crash here.
+        recorded = [r.job.name for r in report.records if r.ok]
+        if recorded:
+            try:
+                data = trace_bench(recorded, scale=args.scale,
+                                   analyses=analyses,
+                                   out_path=args.bench_out)
+            except TraceError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            total = data["total"]
+            print(f"\nreplay-vs-rerun: {total['live_seconds']:.3f}s live "
+                  f"vs {total['record_seconds'] + total['replay_seconds']:.3f}s "
+                  f"record+replay -> {total['speedup']:.2f}x "
+                  f"(written to {args.bench_out})")
+        else:
+            print("\nreplay-vs-rerun: skipped (no workload recorded "
+                  "successfully)", file=sys.stderr)
+    if args.json:
+        payload = {
+            name: {
+                phase: {"ok": result.ok, "seconds": result.seconds,
+                        "payload": result.payload, "error": result.error}
+                for phase, result in phases.items()
+            }
+            for name, phases in report.by_name().items()
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    return 1 if failed else 0
 
 
 def _cmd_workloads(args: argparse.Namespace) -> int:
@@ -192,6 +280,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_tree.add_argument("--max-nodes", type=int, default=100_000,
                         help="recording budget before truncation")
     p_tree.set_defaults(func=_cmd_tree)
+
+    p_rec = sub.add_parser("record",
+                           help="record an execution trace for replay")
+    p_rec.add_argument("file")
+    p_rec.add_argument("-o", "--out", default=None,
+                       help="trace output path (default FILE.trace)")
+    p_rec.set_defaults(func=_cmd_record)
+
+    p_rep = sub.add_parser("replay",
+                           help="replay a recorded trace through analyses")
+    p_rep.add_argument("trace")
+    p_rep.add_argument("--analysis", default="dep",
+                       help="comma-separated analyses: dep, locality, "
+                            "hot, counts (default: dep)")
+    p_rep.set_defaults(func=_cmd_replay)
+
+    p_batch = sub.add_parser(
+        "batch", help="record+replay many workloads concurrently")
+    p_batch.add_argument("--workloads", default="",
+                         help="comma-separated workload names "
+                              "(default: all Table III workloads)")
+    p_batch.add_argument("--analysis", default="dep,locality,hot",
+                         help="analyses every replay runs")
+    p_batch.add_argument("--out-dir", default="traces",
+                         help="directory for the recorded traces")
+    p_batch.add_argument("--workers", type=int, default=None,
+                         help="process-pool size (default: cpu count; "
+                              "1 = serial)")
+    p_batch.add_argument("--scale", type=float, default=0.5)
+    p_batch.add_argument("--json", action="store_true",
+                         help="print per-workload payloads as JSON")
+    p_batch.add_argument("--bench", action="store_true",
+                         help="also run the replay-vs-rerun benchmark")
+    p_batch.add_argument("--bench-out", default="BENCH_trace.json",
+                         help="speedup artifact path (with --bench)")
+    p_batch.set_defaults(func=_cmd_batch)
 
     p_wl = sub.add_parser("workloads", help="list bundled benchmarks")
     p_wl.add_argument("--extra", action="store_true",

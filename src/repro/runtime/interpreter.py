@@ -162,11 +162,13 @@ class Interpreter:
             elif op == "alloc":
                 size = regs[instr.size]
                 try:
-                    regs[instr.dst] = memory.heap_alloc(size)
+                    base = memory.heap_alloc(size)
                 except ValueError as exc:
                     self.time = time
                     raise MiniCRuntimeError(str(exc), instr.pc, instr.line,
                                             instr.col, instr.fn_name)
+                regs[instr.dst] = base
+                tracer.on_heap_alloc(base, size, time)
             elif op == "free":
                 try:
                     lo, hi = memory.heap_free(regs[instr.src])

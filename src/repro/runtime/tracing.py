@@ -49,6 +49,15 @@ class Tracer:
     def on_write(self, addr: int, pc: int, timestamp: int) -> None:
         """A traced memory write."""
 
+    def on_heap_alloc(self, base: int, size: int, timestamp: int) -> None:
+        """``malloc`` returned the block ``[base, base + size)``.
+
+        The dependence profiler does not need this hook (a fresh block
+        has no history), but trace recording does: replaying the
+        allocation stream lets a consumer reconstruct the heap layout —
+        and therefore symbolic names — without re-running the program.
+        """
+
     def on_frame_free(self, lo: int, hi: int) -> None:
         """Addresses ``[lo, hi)`` were deallocated."""
 

@@ -1,0 +1,61 @@
+"""Trace capture/replay: record one execution, analyze it many times.
+
+The live profiler (``repro.core.tracer``) couples dependence analysis to
+an instrumented interpreter run, so every new question about a program
+costs a full re-execution. This package decouples the two:
+
+``repro.trace.writer``
+    :class:`TraceWriter`, a :class:`~repro.runtime.tracing.Tracer` that
+    streams every interpreter event into a compact, versioned binary
+    trace file, plus :func:`record_source` / :func:`record_program`.
+``repro.trace.reader``
+    :class:`TraceReader`, a lazy streaming reader — traces larger than
+    memory replay fine because events are decoded chunk by chunk.
+``repro.trace.replay``
+    :class:`ReplayEngine` drives pluggable :class:`TraceConsumer`\\ s
+    over a recorded trace without re-running the interpreter. Bundled
+    consumers: the ported dependence profiler (``dep``), a
+    reuse-distance locality analyzer (``locality``), a hot-address
+    histogram (``hot``), and event counting (``counts``).
+``repro.trace.batch``
+    A ``multiprocessing`` batch driver that records and replays many
+    workloads / analyses concurrently with deterministic result order.
+
+Typical use::
+
+    from repro.trace import record_source, replay_trace
+
+    record_source(source, "prog.trace")
+    outcome = replay_trace("prog.trace", analyses=("dep", "locality"))
+    report = outcome.results["dep"]          # a ProfileReport
+    print(report.to_text())
+"""
+
+from repro.trace.events import (TRACE_VERSION, TraceError, TraceHeader,
+                                TraceTruncatedError, TraceVersionError)
+from repro.trace.reader import TraceReader
+from repro.trace.replay import (CONSUMERS, DependenceConsumer,
+                                HotAddressConsumer, LocalityConsumer,
+                                ReplayEngine, TraceConsumer, make_consumers,
+                                replay_trace)
+from repro.trace.writer import TraceWriter, record_program, record_source
+
+__all__ = [
+    "TRACE_VERSION",
+    "TraceError",
+    "TraceHeader",
+    "TraceTruncatedError",
+    "TraceVersionError",
+    "TraceReader",
+    "TraceWriter",
+    "record_program",
+    "record_source",
+    "ReplayEngine",
+    "TraceConsumer",
+    "DependenceConsumer",
+    "LocalityConsumer",
+    "HotAddressConsumer",
+    "CONSUMERS",
+    "make_consumers",
+    "replay_trace",
+]

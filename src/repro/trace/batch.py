@@ -1,0 +1,233 @@
+"""Batch record/replay: many workloads, many analyses, many processes.
+
+The driver fans jobs out over a ``multiprocessing`` pool and returns
+results in deterministic (submission) order regardless of completion
+order — each job is pure (workload name + scale in, summary dict out),
+so parallel and serial execution produce identical payloads.
+
+Job payloads are plain dicts of JSON-able values rather than live
+``ProfileReport`` objects: workers run in separate processes, and a
+compact summary both pickles cheaply and diffs nicely across runs.
+
+``workers=0`` (or 1) runs jobs inline in the calling process — handy
+for tests and for platforms where process spawn cost would swamp the
+tiny bundled workloads.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.profile_data import DepKind
+from repro.trace.replay import replay_trace
+from repro.trace.writer import record_source
+
+#: Default analyses a batch replay runs.
+DEFAULT_ANALYSES = ("dep", "locality", "hot")
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One unit of batch work.
+
+    ``kind`` is ``"record"`` (run the workload, write ``trace_path``)
+    or ``"replay"`` (stream ``trace_path`` through ``analyses``).
+    """
+
+    kind: str
+    name: str
+    trace_path: str
+    workload: str = ""
+    scale: float = 1.0
+    analyses: tuple[str, ...] = DEFAULT_ANALYSES
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one job, in submission order."""
+
+    job: BatchJob
+    ok: bool
+    seconds: float
+    payload: dict[str, Any] = field(default_factory=dict)
+    error: str = ""
+
+
+def profile_summary(report) -> dict[str, Any]:
+    """Compact, picklable, order-stable digest of a ProfileReport.
+
+    Captures exactly what the replay-equivalence criterion cares about:
+    per-construct durations/instances and per-edge (min Tdep, count,
+    variable hint), keyed deterministically.
+    """
+    constructs = {}
+    for pc in sorted(report.store.profiles):
+        profile = report.store.profiles[pc]
+        edges = {}
+        for (head, tail, kind), stats in sorted(
+                profile.edges.items(),
+                key=lambda item: (item[0][0], item[0][1], item[0][2].value)):
+            edges[f"{head}->{tail}:{kind.value}"] = [
+                stats.min_tdep, stats.count, stats.var_hint]
+        constructs[str(pc)] = {
+            "name": profile.static.name,
+            "total_duration": profile.total_duration,
+            "instances": profile.instances,
+            "max_duration": profile.max_duration,
+            "edges": edges,
+        }
+    return {
+        "constructs": constructs,
+        "instructions": report.stats.instructions,
+        "dynamic_instances": report.stats.dynamic_instances,
+        "violating_raw": sum(
+            p.violating_count(DepKind.RAW)
+            for p in report.store.profiles.values()),
+        "exit_value": report.exit_value,
+    }
+
+
+def _summarize(name: str, outcome: Any) -> Any:
+    """Convert one analysis result into a picklable payload."""
+    if name == "dep":
+        return profile_summary(outcome)
+    if name == "locality":
+        return {
+            "accesses": outcome.accesses,
+            "distinct_addresses": outcome.distinct_addresses,
+            "cold_misses": outcome.cold_misses,
+            "histogram": {str(k): v
+                          for k, v in sorted(outcome.histogram.items())},
+        }
+    if name == "hot":
+        return [{"addr": row.addr, "name": row.name,
+                 "reads": row.reads, "writes": row.writes}
+                for row in outcome]
+    return outcome
+
+
+def run_job(job: BatchJob) -> BatchResult:
+    """Execute one job (also the worker entry point — must stay
+    importable at module top level for pickling)."""
+    start = _time.perf_counter()
+    try:
+        if job.kind == "record":
+            from repro.workloads import get
+
+            workload = get(job.workload or job.name, job.scale)
+            result = record_source(workload.source, job.trace_path,
+                                   filename=workload.name)
+            payload = {
+                "trace": result.path,
+                "events": result.events,
+                "trace_bytes": result.trace_bytes,
+                "final_time": result.final_time,
+                "exit_value": result.exit_value,
+            }
+        elif job.kind == "replay":
+            outcome = replay_trace(job.trace_path, job.analyses)
+            payload = {name: _summarize(name, outcome.results[name])
+                       for name in outcome.results}
+        else:
+            raise ValueError(f"unknown batch job kind {job.kind!r}")
+    except Exception as exc:  # worker errors travel as data, not crashes
+        return BatchResult(job=job, ok=False,
+                           seconds=_time.perf_counter() - start,
+                           error=f"{type(exc).__name__}: {exc}")
+    return BatchResult(job=job, ok=True,
+                       seconds=_time.perf_counter() - start,
+                       payload=payload)
+
+
+def run_batch(jobs: list[BatchJob],
+              workers: int | None = None) -> list[BatchResult]:
+    """Run ``jobs`` over a process pool; results in submission order.
+
+    ``workers=None`` sizes the pool to ``min(len(jobs), cpu_count)``;
+    ``workers<=1`` runs serially in-process.
+    """
+    if workers is None:
+        workers = min(len(jobs), os.cpu_count() or 1)
+    if workers <= 1 or len(jobs) <= 1:
+        return [run_job(job) for job in jobs]
+    with multiprocessing.Pool(processes=min(workers, len(jobs))) as pool:
+        # pool.map preserves submission order by construction.
+        return pool.map(run_job, jobs)
+
+
+@dataclass
+class BatchReport:
+    """Record phase + replay phase over a set of workloads."""
+
+    records: list[BatchResult]
+    replays: list[BatchResult]
+    workers: int
+    wall_seconds: float
+
+    def by_name(self) -> dict[str, dict[str, Any]]:
+        """Deterministically ordered {workload: {record, replay}}."""
+        merged: dict[str, dict[str, Any]] = {}
+        for result in self.records:
+            merged.setdefault(result.job.name, {})["record"] = result
+        for result in self.replays:
+            merged.setdefault(result.job.name, {})["replay"] = result
+        return merged
+
+    def describe(self) -> str:
+        lines = [f"batch: {len(self.records)} workload(s), "
+                 f"{self.workers} worker(s), "
+                 f"{self.wall_seconds:.2f}s wall"]
+        for name, phases in self.by_name().items():
+            record = phases.get("record")
+            replay = phases.get("replay")
+            parts = [f"  {name:12s}"]
+            if record is not None:
+                if record.ok:
+                    parts.append(f"recorded {record.payload['events']} "
+                                 f"events ({record.payload['trace_bytes']}"
+                                 f" B) in {record.seconds:.2f}s")
+                else:
+                    parts.append(f"record FAILED: {record.error}")
+            if replay is not None:
+                if replay.ok:
+                    parts.append(f"; replayed "
+                                 f"{','.join(replay.job.analyses)} "
+                                 f"in {replay.seconds:.2f}s")
+                else:
+                    parts.append(f"; replay FAILED: {replay.error}")
+            lines.append("".join(parts))
+        return "\n".join(lines)
+
+
+def record_replay_many(workload_names: list[str], out_dir: str,
+                       analyses: tuple[str, ...] = DEFAULT_ANALYSES,
+                       workers: int | None = None,
+                       scale: float = 1.0) -> BatchReport:
+    """Record every workload, then replay every trace, both in parallel.
+
+    The two phases are separated by a barrier (a replay needs its trace
+    on disk); within each phase jobs run concurrently.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    start = _time.perf_counter()
+    record_jobs = [
+        BatchJob(kind="record", name=name, workload=name, scale=scale,
+                 trace_path=os.path.join(out_dir, f"{name}.trace"))
+        for name in workload_names
+    ]
+    records = run_batch(record_jobs, workers)
+    replay_jobs = [
+        BatchJob(kind="replay", name=job.name, trace_path=job.trace_path,
+                 analyses=tuple(analyses))
+        for job, result in zip(record_jobs, records) if result.ok
+    ]
+    replays = run_batch(replay_jobs, workers)
+    effective = workers if workers is not None else min(
+        len(record_jobs), os.cpu_count() or 1)
+    return BatchReport(records=records, replays=replays,
+                       workers=effective,
+                       wall_seconds=_time.perf_counter() - start)

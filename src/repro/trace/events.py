@@ -1,0 +1,170 @@
+"""The trace file format: layout constants, header/footer, errors.
+
+A trace file is::
+
+    magic      8 bytes   b"ALCHTRC\\0"
+    version    u16 LE    TRACE_VERSION (readers reject mismatches)
+    hdr_len    u32 LE
+    header     hdr_len bytes of zlib-compressed JSON (TraceHeader)
+    events     a stream of fixed 13-byte records, ended by FINISH
+    footer     zlib-compressed JSON (TraceFooter)
+    ftr_len    u32 LE    footer length (trailing, so the footer can be
+                         located from the end of the file too)
+    trailer    8 bytes   b"ALCHEND\\0"
+
+Each event record is ``struct`` format ``<BIII``: a type byte, two
+32-bit operands ``a``/``b``, and the timestamp *delta* since the
+previous event (timestamps are instruction counts, monotone within a
+run, so deltas are small and non-negative). Fixed-width records decode
+an entire chunk with one :func:`struct.iter_unpack` call, which is what
+makes pure-Python replay cheap enough to beat re-execution.
+
+The header embeds the program source (compressed) plus its SHA-256
+digest, so a trace is self-contained: replay recompiles the embedded
+source and verifies the digest rather than trusting a separate file.
+The function-name table is fixed at record time (compilation order), so
+ENTER/EXIT events carry a small index instead of a string.
+
+Operands and deltas must fit 32 bits; the writer raises
+:class:`TraceError` otherwise (addresses are word indices, so this
+bounds traced memory at 4G words — far beyond any bundled workload).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zlib
+from dataclasses import dataclass, field
+from struct import Struct
+
+MAGIC = b"ALCHTRC\0"
+TRAILER = b"ALCHEND\0"
+TRACE_VERSION = 1
+
+#: One event record: type byte, operand a, operand b, timestamp delta.
+RECORD = Struct("<BIII")
+RECORD_SIZE = RECORD.size
+
+_VERSION_STRUCT = Struct("<H")
+_LEN_STRUCT = Struct("<I")
+
+# -- event type bytes -------------------------------------------------------
+
+EV_ENTER = 1    #: a = function index, b = entry pc
+EV_EXIT = 2     #: a = function index
+EV_BLOCK = 3    #: a = block id
+EV_BRANCH = 4   #: a = branch pc, b = chosen target block
+EV_READ = 5     #: a = address, b = pc
+EV_WRITE = 6    #: a = address, b = pc
+EV_ALLOC = 7    #: a = block base, b = size
+EV_FREE = 8     #: a = range lo, b = range length (hi - lo); no timestamp
+EV_FINISH = 9   #: end of event stream
+
+EVENT_NAMES = {
+    EV_ENTER: "enter",
+    EV_EXIT: "exit",
+    EV_BLOCK: "block",
+    EV_BRANCH: "branch",
+    EV_READ: "read",
+    EV_WRITE: "write",
+    EV_ALLOC: "alloc",
+    EV_FREE: "free",
+    EV_FINISH: "finish",
+}
+
+_U32_MAX = (1 << 32) - 1
+
+
+class TraceError(Exception):
+    """A malformed, unwritable, or out-of-range trace."""
+
+
+class TraceVersionError(TraceError):
+    """The trace was written by an incompatible schema version."""
+
+
+class TraceTruncatedError(TraceError):
+    """The trace ends mid-stream (crash or partial copy)."""
+
+
+def source_digest(source: str) -> str:
+    """SHA-256 of the program source, the trace's identity check."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class TraceHeader:
+    """Everything replay needs before the first event."""
+
+    digest: str
+    filename: str
+    source: str
+    globals_size: int
+    stack_limit: int
+    heap_base: int
+    #: Function names in compilation order; ENTER/EXIT events index this.
+    functions: list[str] = field(default_factory=list)
+
+    def to_bytes(self) -> bytes:
+        payload = json.dumps(self.__dict__, separators=(",", ":"))
+        return zlib.compress(payload.encode("utf-8"), 6)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "TraceHeader":
+        try:
+            data = json.loads(zlib.decompress(blob))
+            return cls(**data)
+        except (zlib.error, ValueError, TypeError) as exc:
+            raise TraceError(f"corrupt trace header: {exc}") from exc
+
+
+@dataclass
+class TraceFooter:
+    """Run outcome, written after the last event."""
+
+    exit_value: int
+    #: ``print()`` output, one tuple of ints per statement.
+    output: list[list[int]] = field(default_factory=list)
+    events: int = 0
+    final_time: int = 0
+
+    def to_bytes(self) -> bytes:
+        payload = json.dumps(self.__dict__, separators=(",", ":"))
+        return zlib.compress(payload.encode("utf-8"), 6)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "TraceFooter":
+        try:
+            data = json.loads(zlib.decompress(blob))
+            return cls(**data)
+        except (zlib.error, ValueError, TypeError) as exc:
+            raise TraceError(f"corrupt trace footer: {exc}") from exc
+
+
+def pack_version(version: int = TRACE_VERSION) -> bytes:
+    return _VERSION_STRUCT.pack(version)
+
+
+def unpack_version(blob: bytes) -> int:
+    if len(blob) != _VERSION_STRUCT.size:
+        raise TraceTruncatedError("trace ends inside the version field")
+    return _VERSION_STRUCT.unpack(blob)[0]
+
+
+def pack_length(length: int) -> bytes:
+    return _LEN_STRUCT.pack(length)
+
+
+def unpack_length(blob: bytes) -> int:
+    if len(blob) != _LEN_STRUCT.size:
+        raise TraceTruncatedError("trace ends inside a length field")
+    return _LEN_STRUCT.unpack(blob)[0]
+
+
+def check_u32(value: int, what: str) -> int:
+    """Writer-side range check for record operands and deltas."""
+    if 0 <= value <= _U32_MAX:
+        return value
+    raise TraceError(f"{what} {value} does not fit the 32-bit "
+                     f"trace record format")

@@ -1,0 +1,159 @@
+"""Lazy trace reading: stream events without loading the file.
+
+:class:`TraceReader` parses the header eagerly (it is small) and then
+yields events chunk by chunk, so a trace larger than memory replays in
+constant space. Each yielded event is a plain tuple
+``(etype, a, b, timestamp)`` with the *absolute* timestamp already
+reconstructed from the stored deltas.
+
+Error handling contract (exercised by the format tests):
+
+* wrong magic or a header that fails to parse → :class:`TraceError`;
+* a version other than :data:`TRACE_VERSION` → :class:`TraceVersionError`;
+* EOF before the FINISH event, a record cut mid-way, or a missing
+  footer/trailer → :class:`TraceTruncatedError`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import BinaryIO, Iterator
+
+from repro.trace.events import (EV_FINISH, MAGIC, RECORD, RECORD_SIZE,
+                                TRACE_VERSION, TRAILER, TraceError,
+                                TraceFooter, TraceHeader,
+                                TraceTruncatedError, TraceVersionError,
+                                source_digest, unpack_length, unpack_version)
+
+#: Records per read() call while streaming (the chunk is a multiple of
+#: the record size, so iter_unpack never sees a partial record).
+_CHUNK_RECORDS = 16384
+_CHUNK_BYTES = _CHUNK_RECORDS * RECORD_SIZE
+
+Event = tuple[int, int, int, int]
+
+
+class TraceReader:
+    """Streams one trace file; each ``events()`` call restarts from the
+    first record, so a reader can replay the same trace repeatedly."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = os.fspath(path)
+        self._handle: BinaryIO = open(self.path, "rb")
+        self.header = self._read_header()
+        self._events_start = self._handle.tell()
+        #: Populated once ``events()`` has been fully consumed.
+        self.footer: TraceFooter | None = None
+
+    # -- setup -------------------------------------------------------------
+
+    def _read_header(self) -> TraceHeader:
+        magic = self._handle.read(len(MAGIC))
+        if len(magic) < len(MAGIC):
+            raise TraceTruncatedError(f"{self.path}: shorter than the magic")
+        if magic != MAGIC:
+            raise TraceError(f"{self.path}: not an Alchemist trace "
+                             f"(bad magic {magic!r})")
+        version = unpack_version(self._handle.read(2))
+        if version != TRACE_VERSION:
+            raise TraceVersionError(
+                f"{self.path}: trace schema version {version}, this "
+                f"reader understands only {TRACE_VERSION}")
+        length = unpack_length(self._handle.read(4))
+        blob = self._handle.read(length)
+        if len(blob) < length:
+            raise TraceTruncatedError(f"{self.path}: truncated header")
+        return TraceHeader.from_bytes(blob)
+
+    def verify_source(self, source: str) -> bool:
+        """Does ``source`` match the program this trace recorded?"""
+        return source_digest(source) == self.header.digest
+
+    # -- streaming ---------------------------------------------------------
+
+    def events(self) -> Iterator[Event]:
+        """Yield ``(etype, a, b, timestamp)`` for every recorded event.
+
+        The FINISH event is yielded too (consumers map it to
+        ``on_finish``); afterwards the footer is parsed and exposed as
+        :attr:`footer`.
+        """
+        handle = self._handle
+        handle.seek(self._events_start)
+        unpack_chunk = RECORD.iter_unpack
+        time = 0
+        records = 0
+        while True:
+            # A chunk near the end of the file may contain footer bytes
+            # after the FINISH record; alignment is only meaningful for
+            # the records before FINISH, so trim and check afterwards.
+            chunk = handle.read(_CHUNK_BYTES)
+            if not chunk:
+                raise TraceTruncatedError(
+                    f"{self.path}: event stream ends without FINISH")
+            remainder = len(chunk) % RECORD_SIZE
+            for etype, a, b, delta in unpack_chunk(chunk[:len(chunk)
+                                                         - remainder]):
+                time += delta
+                records += 1
+                yield (etype, a, b, time)
+                if etype == EV_FINISH:
+                    self._read_footer(records)
+                    return
+            if remainder:
+                raise TraceTruncatedError(
+                    f"{self.path}: trace ends mid-record "
+                    f"({remainder} trailing bytes)")
+
+    def _read_footer(self, records: int) -> None:
+        """Parse ``[blob][len][trailer]``, right after the records."""
+        handle = self._handle
+        handle.seek(self._events_start + records * RECORD_SIZE)
+        tail = handle.read()
+        if len(tail) < 4 + len(TRAILER):
+            raise TraceTruncatedError(f"{self.path}: missing footer")
+        if tail[-len(TRAILER):] != TRAILER:
+            raise TraceTruncatedError(
+                f"{self.path}: missing end-of-trace trailer "
+                "(recording did not finish cleanly)")
+        blob = tail[:-4 - len(TRAILER)]
+        length = unpack_length(tail[-4 - len(TRAILER):-len(TRAILER)])
+        if length != len(blob):
+            raise TraceTruncatedError(
+                f"{self.path}: footer length mismatch "
+                f"({length} recorded, {len(blob)} present)")
+        self.footer = TraceFooter.from_bytes(blob)
+
+    def read_footer(self) -> TraceFooter:
+        """Footer without streaming events (located from the file end)."""
+        if self.footer is not None:
+            return self.footer
+        handle = self._handle
+        size = os.path.getsize(self.path)
+        suffix = 4 + len(TRAILER)
+        if size < self._events_start + suffix:
+            raise TraceTruncatedError(f"{self.path}: missing footer")
+        handle.seek(size - suffix)
+        length = unpack_length(handle.read(4))
+        if handle.read(len(TRAILER)) != TRAILER:
+            raise TraceTruncatedError(
+                f"{self.path}: missing end-of-trace trailer "
+                "(recording did not finish cleanly)")
+        start = size - suffix - length
+        if start < self._events_start:
+            raise TraceTruncatedError(f"{self.path}: footer length "
+                                      "exceeds the file")
+        handle.seek(start)
+        self.footer = TraceFooter.from_bytes(handle.read(length))
+        return self.footer
+
+    # -- cleanup -----------------------------------------------------------
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "TraceReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

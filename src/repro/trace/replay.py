@@ -1,0 +1,528 @@
+"""Replay: drive pluggable analyses over a recorded trace.
+
+The engine re-derives everything an analysis needs *without* running
+the interpreter again:
+
+* the program is recompiled from the source embedded in the trace
+  header (digest-checked), giving back the construct table, function
+  layouts and global names;
+* a :class:`~repro.runtime.memory.Memory` is reconstructed by applying
+  the recorded ENTER/EXIT/ALLOC/FREE events, so symbolic address names
+  (``fn.local``, ``heap#3[7]``, ``retval(f)``) resolve at replay time
+  exactly as they did live — frame pushes, pops and heap recycling are
+  deterministic given the same event sequence;
+* events are then dispatched to every registered consumer in recorded
+  order, so one pass over the trace feeds N analyses.
+
+Consumers are ordinary :class:`~repro.runtime.tracing.Tracer` subclasses
+(plus a ``result()`` method), which means every consumer can also be
+attached to a live interpreter run unchanged — the bench harness uses
+exactly that symmetry for its replay-vs-rerun comparison.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.analysis.constructs import ConstructTable
+from repro.core.profile_data import DepKind
+from repro.core.report import ProfileReport, RunStats
+from repro.core.tracer import AlchemistTracer
+from repro.ir.cfg import ProgramIR
+from repro.ir.lowering import compile_source
+from repro.runtime.memory import Memory
+from repro.runtime.tracing import Tracer
+from repro.trace.events import (EV_ALLOC, EV_BLOCK, EV_BRANCH, EV_ENTER,
+                                EV_EXIT, EV_FINISH, EV_FREE, EV_READ,
+                                EV_WRITE, TraceError, TraceFooter,
+                                source_digest)
+from repro.trace.reader import TraceReader
+
+
+@dataclass
+class ReplayContext:
+    """What the engine hands to ``result()`` after the last event."""
+
+    program: ProgramIR
+    memory: Memory
+    footer: TraceFooter | None
+    final_time: int
+    events: int
+    wall_seconds: float
+
+
+class TraceConsumer(Tracer):
+    """A replayable analysis: tracer hooks plus a named result.
+
+    ``on_start`` receives the (re)compiled program and a memory whose
+    layout evolves with the event stream; hooks then fire in recorded
+    order. ``result`` turns the accumulated state into the analysis
+    output once the stream is exhausted.
+    """
+
+    #: Registry key and result-dict key.
+    name = "consumer"
+
+    def result(self, ctx: ReplayContext) -> Any:
+        raise NotImplementedError
+
+    def describe(self, outcome: Any) -> str:
+        """Human-readable rendering for the CLI."""
+        return repr(outcome)
+
+
+class DependenceConsumer(TraceConsumer):
+    """The Alchemist dependence profiler, ported to replay.
+
+    Wraps the unmodified live :class:`AlchemistTracer`, so a replayed
+    profile is *identical* — per-construct edges, min-Tdep distances,
+    durations, instance counts — to a live instrumented run of the same
+    program (the equivalence tests assert this workload by workload).
+    """
+
+    name = "dep"
+
+    def __init__(self, pool_size: int = 4096, track_war_waw: bool = True):
+        self.pool_size = pool_size
+        self.track_war_waw = track_war_waw
+        self.table: ConstructTable | None = None
+        self.tracer: AlchemistTracer | None = None
+
+    def on_start(self, program: ProgramIR, memory: Memory) -> None:
+        self.table = ConstructTable(program)
+        tracer = AlchemistTracer(self.table, self.pool_size,
+                                 self.track_war_waw)
+        tracer.on_start(program, memory)
+        self.tracer = tracer
+        # Rebind the hot hooks straight to the inner tracer: the engine
+        # looks methods up after on_start, so dispatch skips this shim.
+        self.on_enter_function = tracer.on_enter_function
+        self.on_exit_function = tracer.on_exit_function
+        self.on_block_enter = tracer.on_block_enter
+        self.on_branch = tracer.on_branch
+        self.on_read = tracer.on_read
+        self.on_write = tracer.on_write
+        self.on_frame_free = tracer.on_frame_free
+        self.on_finish = tracer.on_finish
+
+    def result(self, ctx: ReplayContext) -> ProfileReport:
+        tracer = self.tracer
+        stats = RunStats(
+            wall_seconds=ctx.wall_seconds,
+            baseline_seconds=None,
+            instructions=ctx.final_time,
+            dynamic_instances=tracer.store.dynamic_instances,
+            static_constructs=self.table.static_count(),
+            max_index_depth=tracer.stack.max_depth,
+            raw_events=tracer.raw_events,
+            war_events=tracer.war_events,
+            waw_events=tracer.waw_events,
+            edges_profiled=tracer.profiler.edges_profiled,
+            pool=tracer.pool.stats,
+        )
+        footer = ctx.footer
+        exit_value = footer.exit_value if footer is not None else 0
+        output = ([tuple(v) for v in footer.output]
+                  if footer is not None else [])
+        return ProfileReport(ctx.program, self.table, tracer.store, stats,
+                             exit_value, output)
+
+    def describe(self, outcome: ProfileReport) -> str:
+        # Same presentation as the `profile` verb: all three kinds.
+        kinds = ((DepKind.RAW, DepKind.WAW, DepKind.WAR)
+                 if self.track_war_waw else (DepKind.RAW,))
+        return outcome.to_text(kinds=kinds)
+
+
+@dataclass
+class LocalityResult:
+    """Reuse-distance summary of one trace."""
+
+    accesses: int = 0
+    distinct_addresses: int = 0
+    cold_misses: int = 0
+    #: log2 bucket -> access count; bucket k holds distances in
+    #: [2^(k-1), 2^k), bucket 0 holds distance 0 (back-to-back reuse).
+    histogram: dict[int, int] = field(default_factory=dict)
+
+    def hit_fraction(self, capacity: int) -> float:
+        """Fraction of reuses that fit a ``capacity``-word LRU cache."""
+        reuses = self.accesses - self.cold_misses
+        if reuses <= 0:
+            return 0.0
+        hits = sum(count for bucket, count in self.histogram.items()
+                   if (1 << bucket) <= capacity)
+        return hits / reuses
+
+
+class LocalityConsumer(TraceConsumer):
+    """Exact LRU reuse-distance histogram (a PROMPT-style analysis).
+
+    For every memory access, the reuse distance is the number of
+    *distinct* addresses touched since the previous access to the same
+    address — i.e. the minimal LRU cache size (in words) that would hit.
+    Computed exactly with a Fenwick tree over access sequence numbers
+    (O(log n) per access). Distances are bucketed by powers of two.
+
+    Addresses are physical interpreter words; stack reuse across frames
+    therefore counts as reuse of the same word, which is exactly the
+    cache behaviour a hardware-level locality profile would see.
+    """
+
+    name = "locality"
+
+    def __init__(self) -> None:
+        self._seq = 0
+        self._last: dict[int, int] = {}
+        self._tree: list[int] = [0]
+        self._live = 0
+        self.stats = LocalityResult()
+
+    def _access(self, addr: int, pc: int = 0, timestamp: int = 0) -> None:
+        stats = self.stats
+        stats.accesses += 1
+        seq = self._seq + 1
+        self._seq = seq
+        tree = self._tree
+        # Fenwick append: node ``seq`` covers ``(seq - lowbit, seq]``, so
+        # its initial value is the live count over that range (the new
+        # position itself contributes 1 — it is now `addr`'s last
+        # access).
+        before = self._prefix(seq - 1)
+        tree.append(1 + before - self._prefix(seq - (seq & -seq)))
+        last = self._last.get(addr)
+        self._last[addr] = seq
+        self._live += 1
+        if last is None:
+            stats.cold_misses += 1
+            return
+        # distance = live addresses whose last access falls strictly
+        # between `last` and `seq` = prefix(seq - 1) - prefix(last).
+        distance = before - self._prefix(last)
+        bucket = distance.bit_length()  # 0 -> 0, [2^(k-1), 2^k) -> k
+        stats.histogram[bucket] = stats.histogram.get(bucket, 0) + 1
+        # The superseded position stops representing a live address.
+        i = last
+        size = seq
+        while i <= size:
+            tree[i] -= 1
+            i += i & (-i)
+        self._live -= 1
+
+    # Both reads and writes are accesses (pc/timestamp unused).
+    on_read = _access
+    on_write = _access
+
+    def _prefix(self, i: int) -> int:
+        tree = self._tree
+        total = 0
+        while i > 0:
+            total += tree[i]
+            i -= i & (-i)
+        return total
+
+    def result(self, ctx: ReplayContext) -> LocalityResult:
+        self.stats.distinct_addresses = len(self._last)
+        return self.stats
+
+    def describe(self, outcome: LocalityResult) -> str:
+        lines = [
+            "Reuse-distance profile:",
+            f"  accesses           {outcome.accesses}",
+            f"  distinct addresses {outcome.distinct_addresses}",
+            f"  cold misses        {outcome.cold_misses}",
+        ]
+        for capacity in (64, 1024, 16384):
+            lines.append(f"  LRU({capacity:>5}) hit rate "
+                         f"{outcome.hit_fraction(capacity):6.1%}")
+        lines.append("  distance histogram (log2 buckets):")
+        for bucket in sorted(outcome.histogram):
+            lo = 0 if bucket == 0 else 1 << (bucket - 1)
+            lines.append(f"    >= {lo:>8}: {outcome.histogram[bucket]}")
+        return "\n".join(lines)
+
+
+@dataclass
+class HotAddress:
+    """One row of the hot-address histogram."""
+
+    addr: int
+    name: str
+    reads: int
+    writes: int
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+
+class HotAddressConsumer(TraceConsumer):
+    """Access-count histogram over addresses (contention spotting).
+
+    Names are resolved best-effort from the reconstructed memory at the
+    *end* of the stream: globals and live heap blocks name exactly;
+    long-dead stack frames fall back to ``stack+addr``.
+    """
+
+    name = "hot"
+
+    def __init__(self, top: int = 20):
+        self.top = top
+        self._reads: dict[int, int] = {}
+        self._writes: dict[int, int] = {}
+
+    def on_read(self, addr: int, pc: int, timestamp: int) -> None:
+        reads = self._reads
+        reads[addr] = reads.get(addr, 0) + 1
+
+    def on_write(self, addr: int, pc: int, timestamp: int) -> None:
+        writes = self._writes
+        writes[addr] = writes.get(addr, 0) + 1
+
+    def result(self, ctx: ReplayContext) -> list[HotAddress]:
+        totals: dict[int, int] = dict(self._reads)
+        for addr, count in self._writes.items():
+            totals[addr] = totals.get(addr, 0) + count
+        ranked = sorted(totals, key=lambda a: (-totals[a], a))[:self.top]
+        return [HotAddress(addr=addr,
+                           name=ctx.memory.addr_to_name(addr),
+                           reads=self._reads.get(addr, 0),
+                           writes=self._writes.get(addr, 0))
+                for addr in ranked]
+
+    def describe(self, outcome: list[HotAddress]) -> str:
+        lines = ["Hottest addresses (reads+writes):"]
+        for row in outcome:
+            lines.append(f"  {row.total:>10}  {row.name:<28} "
+                         f"(r={row.reads}, w={row.writes}, "
+                         f"addr={row.addr})")
+        return "\n".join(lines)
+
+
+class CountingConsumer(TraceConsumer):
+    """Event counts; the replay twin of ``CountingTracer``."""
+
+    name = "counts"
+
+    def __init__(self) -> None:
+        self.counts = {"reads": 0, "writes": 0, "calls": 0,
+                       "branches": 0, "blocks": 0, "allocs": 0,
+                       "frees": 0}
+
+    def on_enter_function(self, fn_name, entry_pc, timestamp) -> None:
+        self.counts["calls"] += 1
+
+    def on_block_enter(self, block_id, timestamp) -> None:
+        self.counts["blocks"] += 1
+
+    def on_branch(self, pc, target_block, timestamp) -> None:
+        self.counts["branches"] += 1
+
+    def on_read(self, addr, pc, timestamp) -> None:
+        self.counts["reads"] += 1
+
+    def on_write(self, addr, pc, timestamp) -> None:
+        self.counts["writes"] += 1
+
+    def on_heap_alloc(self, base, size, timestamp) -> None:
+        self.counts["allocs"] += 1
+
+    def on_frame_free(self, lo, hi) -> None:
+        self.counts["frees"] += 1
+
+    def result(self, ctx: ReplayContext) -> dict[str, int]:
+        return dict(self.counts)
+
+    def describe(self, outcome: dict[str, int]) -> str:
+        return "Event counts: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(outcome.items()))
+
+
+#: Analysis registry for the CLI / batch driver.
+CONSUMERS: dict[str, type[TraceConsumer]] = {
+    DependenceConsumer.name: DependenceConsumer,
+    LocalityConsumer.name: LocalityConsumer,
+    HotAddressConsumer.name: HotAddressConsumer,
+    CountingConsumer.name: CountingConsumer,
+}
+
+
+def make_consumers(analyses: Iterable[str] | str) -> list[TraceConsumer]:
+    """Instantiate consumers from names (``"dep,locality"`` or a list)."""
+    if isinstance(analyses, str):
+        analyses = [name.strip() for name in analyses.split(",")
+                    if name.strip()]
+    consumers = []
+    for name in analyses:
+        try:
+            consumers.append(CONSUMERS[name]())
+        except KeyError:
+            known = ", ".join(sorted(CONSUMERS))
+            raise TraceError(f"unknown analysis {name!r} "
+                             f"(known: {known})") from None
+    if not consumers:
+        raise TraceError("no analyses requested")
+    return consumers
+
+
+def _hooks(consumers: list[TraceConsumer], name: str) -> list:
+    """Bound hooks for ``name``, skipping base-class no-ops.
+
+    A consumer that never overrides ``on_block_enter`` (say) should cost
+    nothing on block events; comparing each bound method's underlying
+    function against :class:`Tracer`'s keeps it out of the hot loop.
+    """
+    base = getattr(Tracer, name)
+    hooks = []
+    for consumer in consumers:
+        hook = getattr(consumer, name)
+        if getattr(hook, "__func__", None) is not base:
+            hooks.append(hook)
+    return hooks
+
+
+class ReplayEngine:
+    """Streams a trace once through any number of consumers.
+
+    The engine mirrors the interpreter's event discipline exactly:
+    frames are pushed before ``on_enter_function`` fires and popped
+    after ``on_exit_function`` (matching ``Interpreter.run``), and heap
+    blocks are allocated/freed at their events, so every consumer
+    observes memory state identical to a live run.
+    """
+
+    def __init__(self, reader: TraceReader, program: ProgramIR | None = None,
+                 check_allocs: bool = True):
+        self.reader = reader
+        header = reader.header
+        if program is None:
+            if source_digest(header.source) != header.digest:
+                raise TraceError(
+                    f"{reader.path}: embedded source does not match the "
+                    "header digest (corrupt trace)")
+            program = compile_source(header.source, header.filename)
+        # An explicitly passed program is trusted (the caller compiled
+        # it); mismatches surface via the function table or the alloc
+        # divergence check below.
+        self.program = program
+        self.check_allocs = check_allocs
+
+    def run(self, consumers: list[TraceConsumer]) -> ReplayContext:
+        """Dispatch every event; returns the context (results are pulled
+        from each consumer by :func:`replay_trace`)."""
+        reader = self.reader
+        header = reader.header
+        program = self.program
+        memory = Memory(program, header.stack_limit)
+        functions = []
+        for name in header.functions:
+            try:
+                functions.append(program.functions[name])
+            except KeyError:
+                raise TraceError(
+                    f"trace names function {name!r} missing from the "
+                    "program (source/trace mismatch)") from None
+
+        start = _time.perf_counter()
+        for consumer in consumers:
+            consumer.on_start(program, memory)
+        # Bind hook lists after on_start (consumers may rebind hooks
+        # there), dropping inherited no-op hooks from the dispatch.
+        on_enter = _hooks(consumers, "on_enter_function")
+        on_exit = _hooks(consumers, "on_exit_function")
+        on_block = _hooks(consumers, "on_block_enter")
+        on_branch = _hooks(consumers, "on_branch")
+        on_read = _hooks(consumers, "on_read")
+        on_write = _hooks(consumers, "on_write")
+        on_alloc = _hooks(consumers, "on_heap_alloc")
+        on_free = _hooks(consumers, "on_frame_free")
+        on_finish = _hooks(consumers, "on_finish")
+
+        push_frame = memory.push_frame
+        pop_frame = memory.pop_frame
+        heap_alloc = memory.heap_alloc
+        heap_free = memory.heap_free
+        heap_base = memory.heap_base
+        check_allocs = self.check_allocs
+
+        final_time = 0
+        for etype, a, b, t in reader.events():
+            if etype == EV_READ:
+                for hook in on_read:
+                    hook(a, b, t)
+            elif etype == EV_WRITE:
+                for hook in on_write:
+                    hook(a, b, t)
+            elif etype == EV_BLOCK:
+                for hook in on_block:
+                    hook(a, t)
+            elif etype == EV_BRANCH:
+                for hook in on_branch:
+                    hook(a, b, t)
+            elif etype == EV_ENTER:
+                push_frame(functions[a])
+                name = functions[a].name
+                for hook in on_enter:
+                    hook(name, b, t)
+            elif etype == EV_EXIT:
+                name = functions[a].name
+                for hook in on_exit:
+                    hook(name, t)
+                pop_frame()
+            elif etype == EV_FREE:
+                # Heap blocks always have size > 0; an empty range is a
+                # degenerate stack-frame free (and could sit exactly at
+                # heap_base when the stack region is full).
+                if b and a >= heap_base:
+                    heap_free(a)
+                hi = a + b
+                for hook in on_free:
+                    hook(a, hi)
+            elif etype == EV_ALLOC:
+                base = heap_alloc(b)
+                if check_allocs and base != a:
+                    raise TraceError(
+                        f"heap replay diverged: alloc returned {base}, "
+                        f"trace recorded {a}")
+                for hook in on_alloc:
+                    hook(a, b, t)
+            elif etype == EV_FINISH:
+                final_time = t
+                for hook in on_finish:
+                    hook(t)
+            else:
+                raise TraceError(f"unknown event type {etype}")
+        wall = _time.perf_counter() - start
+        footer = reader.footer
+        return ReplayContext(program=program, memory=memory,
+                             footer=footer, final_time=final_time,
+                             events=footer.events if footer else 0,
+                             wall_seconds=wall)
+
+
+@dataclass
+class ReplayOutcome:
+    """All results of one replay pass."""
+
+    results: dict[str, Any]
+    context: ReplayContext
+    consumers: list[TraceConsumer]
+
+    def describe(self) -> str:
+        parts = []
+        for consumer in self.consumers:
+            parts.append(consumer.describe(self.results[consumer.name]))
+        return "\n\n".join(parts)
+
+
+def replay_trace(path: str, analyses: Iterable[str] | str = ("dep",),
+                 program: ProgramIR | None = None) -> ReplayOutcome:
+    """Replay ``path`` through the named analyses in one pass."""
+    consumers = make_consumers(analyses)
+    with TraceReader(path) as reader:
+        engine = ReplayEngine(reader, program)
+        ctx = engine.run(consumers)
+    results = {c.name: c.result(ctx) for c in consumers}
+    return ReplayOutcome(results=results, context=ctx, consumers=consumers)

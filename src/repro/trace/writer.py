@@ -1,0 +1,207 @@
+"""Trace recording: a tracer that streams events to a file.
+
+:class:`TraceWriter` plugs into the interpreter exactly like the live
+profiler does — it is a :class:`~repro.runtime.tracing.Tracer` — but
+instead of analyzing events it appends 13-byte records to a buffered
+file. Recording is therefore far cheaper than profiling (no shadow
+memory, no index tree), and the resulting trace can be replayed through
+any number of analyses without touching the interpreter again.
+
+The header is written from :meth:`TraceWriter.on_start` (which is the
+first moment the program — and with it the function-name table and
+memory geometry — is known); the footer is written by :meth:`close`,
+which the record helpers call with the run's exit value and output.
+"""
+
+from __future__ import annotations
+
+import os
+import time as _time
+from dataclasses import dataclass
+
+from repro.ir.cfg import ProgramIR
+from repro.ir.lowering import compile_source
+from repro.runtime.interpreter import DEFAULT_MAX_STEPS, Interpreter
+from repro.runtime.memory import Memory
+from repro.runtime.tracing import Tracer
+from repro.trace.events import (EV_ALLOC, EV_BLOCK, EV_BRANCH, EV_ENTER,
+                                EV_EXIT, EV_FINISH, EV_FREE, EV_READ,
+                                EV_WRITE, MAGIC, RECORD, TRAILER, TraceFooter,
+                                TraceHeader, check_u32, pack_length,
+                                pack_version, source_digest)
+
+#: Flush the event buffer to disk once it exceeds this many bytes.
+_FLUSH_BYTES = 1 << 20
+
+
+class TraceWriter(Tracer):
+    """Records one execution into a trace file; single use.
+
+    Parameters
+    ----------
+    path:
+        Destination file (created/truncated).
+    source:
+        The program source being run; embedded (compressed) in the
+        header together with its digest so the trace is self-contained.
+    filename:
+        Reported in the header for provenance only.
+    """
+
+    def __init__(self, path: str | os.PathLike, source: str,
+                 filename: str = "<input>"):
+        self.path = os.fspath(path)
+        self.source = source
+        self.filename = filename
+        self.events = 0
+        self.final_time = 0
+        self.closed = False
+        self._handle = open(self.path, "wb")
+        self._buffer = bytearray()
+        self._pack = RECORD.pack
+        self._last_time = 0
+        self._fn_index: dict[str, int] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def on_start(self, program: ProgramIR, memory: Memory) -> None:
+        functions = list(program.functions)
+        self._fn_index = {name: i for i, name in enumerate(functions)}
+        header = TraceHeader(
+            digest=source_digest(self.source),
+            filename=self.filename,
+            source=self.source,
+            globals_size=program.globals_size,
+            stack_limit=memory.stack_limit,
+            heap_base=memory.heap_base,
+            functions=functions,
+        )
+        blob = header.to_bytes()
+        self._handle.write(MAGIC)
+        self._handle.write(pack_version())
+        self._handle.write(pack_length(len(blob)))
+        self._handle.write(blob)
+
+    def on_finish(self, timestamp: int) -> None:
+        self.final_time = timestamp
+        self._emit(EV_FINISH, 0, 0, timestamp)
+
+    def close(self, exit_value: int = 0,
+              output: list[tuple[int, ...]] | None = None) -> None:
+        """Write the footer and close the file (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        footer = TraceFooter(
+            exit_value=exit_value,
+            output=[list(values) for values in (output or [])],
+            events=self.events,
+            final_time=self.final_time,
+        )
+        blob = footer.to_bytes()
+        self._buffer += blob
+        self._buffer += pack_length(len(blob))
+        self._buffer += TRAILER
+        self._handle.write(self._buffer)
+        self._buffer.clear()
+        self._handle.close()
+
+    def abort(self) -> None:
+        """Close the handle without a footer (the file stays truncated)."""
+        if not self.closed:
+            self.closed = True
+            self._handle.close()
+
+    # -- event hooks -------------------------------------------------------
+
+    def on_enter_function(self, fn_name: str, entry_pc: int,
+                          timestamp: int) -> None:
+        self._emit(EV_ENTER, self._fn_index[fn_name], entry_pc, timestamp)
+
+    def on_exit_function(self, fn_name: str, timestamp: int) -> None:
+        self._emit(EV_EXIT, self._fn_index[fn_name], 0, timestamp)
+
+    def on_block_enter(self, block_id: int, timestamp: int) -> None:
+        self._emit(EV_BLOCK, block_id, 0, timestamp)
+
+    def on_branch(self, pc: int, target_block: int, timestamp: int) -> None:
+        self._emit(EV_BRANCH, pc, target_block, timestamp)
+
+    def on_read(self, addr: int, pc: int, timestamp: int) -> None:
+        self._emit(EV_READ, addr, pc, timestamp)
+
+    def on_write(self, addr: int, pc: int, timestamp: int) -> None:
+        self._emit(EV_WRITE, addr, pc, timestamp)
+
+    def on_heap_alloc(self, base: int, size: int, timestamp: int) -> None:
+        self._emit(EV_ALLOC, base, size, timestamp)
+
+    def on_frame_free(self, lo: int, hi: int) -> None:
+        # No timestamp on this hook; deltas of 0 keep the clock in place.
+        self._emit(EV_FREE, lo, hi - lo, self._last_time)
+
+    # -- encoding ----------------------------------------------------------
+
+    def _emit(self, etype: int, a: int, b: int, timestamp: int) -> None:
+        delta = timestamp - self._last_time
+        if delta < 0 or a > 0xFFFFFFFF or b > 0xFFFFFFFF \
+                or delta > 0xFFFFFFFF:
+            check_u32(a, "operand")
+            check_u32(b, "operand")
+            check_u32(delta, "timestamp delta")
+        self._last_time = timestamp
+        buffer = self._buffer
+        buffer += self._pack(etype, a, b, delta)
+        self.events += 1
+        if len(buffer) >= _FLUSH_BYTES:
+            self._handle.write(buffer)
+            buffer.clear()
+
+
+@dataclass
+class RecordResult:
+    """Outcome of one recording run."""
+
+    path: str
+    exit_value: int
+    events: int
+    final_time: int
+    trace_bytes: int
+    wall_seconds: float
+
+
+def record_program(program: ProgramIR, path: str | os.PathLike, *,
+                   source: str, filename: str = "<input>",
+                   max_steps: int = DEFAULT_MAX_STEPS) -> RecordResult:
+    """Run ``program`` under a :class:`TraceWriter`; returns the summary.
+
+    ``source`` must be the text ``program`` was compiled from — it is
+    embedded in the trace and recompiled at replay time.
+    """
+    writer = TraceWriter(path, source, filename)
+    start = _time.perf_counter()
+    try:
+        interp = Interpreter(program, writer, max_steps)
+        exit_value = interp.run()
+    except BaseException:
+        writer.abort()
+        raise
+    writer.close(exit_value, interp.output)
+    wall = _time.perf_counter() - start
+    return RecordResult(
+        path=writer.path,
+        exit_value=exit_value,
+        events=writer.events,
+        final_time=writer.final_time,
+        trace_bytes=os.path.getsize(writer.path),
+        wall_seconds=wall,
+    )
+
+
+def record_source(source: str, path: str | os.PathLike, *,
+                  filename: str = "<input>",
+                  max_steps: int = DEFAULT_MAX_STEPS) -> RecordResult:
+    """Compile and record MiniC ``source`` into a trace at ``path``."""
+    program = compile_source(source, filename)
+    return record_program(program, path, source=source, filename=filename,
+                          max_steps=max_steps)

@@ -93,3 +93,76 @@ class TestClearing:
         for addr in range(10):
             shadow.on_write(addr, 1, node(), addr + 1)
         assert shadow.tracked_addresses() == 10
+
+
+class TestBucketIndex:
+    """The per-range address index behind O(frame accesses) teardown."""
+
+    def test_index_stays_in_sync(self):
+        shadow = ShadowMemory()
+        for addr in (3, 64, 65, 130, 700):
+            shadow.on_write(addr, 1, node(), 1)
+        shadow.on_read(131, 2, node(), 2)
+        assert shadow.tracked_addresses() == 6
+        # Clear one boundary bucket's worth plus a partial neighbour.
+        shadow.clear_range(64, 132)
+        assert shadow.tracked_addresses() == 2
+        assert shadow.last_write(3) is not None
+        assert shadow.last_write(700) is not None
+        assert shadow.last_write(65) is None
+        # Buckets hold no stale addresses: re-clearing is a no-op.
+        shadow.clear_range(0, 1024)
+        assert shadow.tracked_addresses() == 0
+        assert not shadow._buckets
+
+    def test_fully_covered_buckets_dropped_wholesale(self):
+        shadow = ShadowMemory()
+        for addr in range(128, 256):
+            shadow.on_write(addr, 1, node(), 1)
+        shadow.clear_range(128, 256)
+        assert shadow.tracked_addresses() == 0
+        assert not shadow._buckets
+
+    def test_empty_and_inverted_ranges_are_noops(self):
+        shadow = ShadowMemory()
+        shadow.on_write(10, 1, node(), 1)
+        shadow.clear_range(10, 10)
+        shadow.clear_range(20, 10)
+        assert shadow.tracked_addresses() == 1
+
+    def test_huge_range_over_small_shadow(self):
+        """A giant free must cost tracked-buckets, not range words."""
+        shadow = ShadowMemory()
+        shadow.on_write(1, 1, node(), 1)
+        shadow.on_write(10_000_000, 1, node(), 1)
+        import time
+        start = time.perf_counter()
+        shadow.clear_range(0, 1 << 40)
+        elapsed = time.perf_counter() - start
+        assert shadow.tracked_addresses() == 0
+        assert elapsed < 0.1
+
+    def test_random_equivalence_with_model(self):
+        """Differential test against a plain-dict model."""
+        import random
+
+        rng = random.Random(99)
+        shadow = ShadowMemory()
+        model = {}
+        for step in range(2000):
+            op = rng.random()
+            if op < 0.6:
+                addr = rng.randrange(4096)
+                shadow.on_write(addr, 1, node(), step)
+                model[addr] = step
+            else:
+                lo = rng.randrange(4096)
+                hi = lo + rng.randrange(512)
+                shadow.clear_range(lo, hi)
+                for addr in [a for a in model if lo <= a < hi]:
+                    del model[addr]
+            if step % 250 == 0:
+                assert shadow.tracked_addresses() == len(model)
+        assert shadow.tracked_addresses() == len(model)
+        for addr in model:
+            assert shadow.last_write(addr) is not None

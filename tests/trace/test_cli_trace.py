@@ -1,0 +1,120 @@
+"""CLI wiring for the record / replay / batch verbs."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+PROG = """
+int a[32];
+int main() {
+    int s = 0;
+    for (int i = 0; i < 25; i++) {
+        a[i % 32] = i;
+        s += a[(i + 3) % 32];
+    }
+    print(s);
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def minic_file(tmp_path):
+    path = tmp_path / "prog.mc"
+    path.write_text(PROG)
+    return str(path)
+
+
+@pytest.fixture
+def trace_file(minic_file, tmp_path):
+    out = str(tmp_path / "prog.trace")
+    assert main(["record", minic_file, "-o", out]) == 0
+    return out
+
+
+class TestRecordReplayCli:
+    def test_parser_wiring(self):
+        parser = build_parser()
+        args = parser.parse_args(["replay", "x.trace",
+                                  "--analysis", "dep,hot"])
+        assert args.command == "replay"
+        assert args.analysis == "dep,hot"
+        args = parser.parse_args(["batch", "--workers", "3", "--bench"])
+        assert args.workers == 3
+        assert args.bench
+
+    def test_record_default_output(self, minic_file, capsys):
+        assert main(["record", minic_file]) == 0
+        out = capsys.readouterr().out
+        assert "recorded" in out
+        assert minic_file + ".trace" in out
+
+    def test_replay_dep(self, trace_file, capsys):
+        assert main(["replay", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "replayed" in out
+        assert "Method main" in out
+
+    def test_replay_multi_analysis(self, trace_file, capsys):
+        assert main(["replay", trace_file,
+                     "--analysis", "dep,locality,hot,counts"]) == 0
+        out = capsys.readouterr().out
+        assert "Reuse-distance profile" in out
+        assert "Hottest addresses" in out
+        assert "Event counts" in out
+
+    def test_replay_unknown_analysis_fails(self, trace_file, capsys):
+        assert main(["replay", trace_file, "--analysis", "nope"]) == 2
+        assert "unknown analysis" in capsys.readouterr().err
+
+    def test_replay_missing_file_fails(self, tmp_path, capsys):
+        missing = str(tmp_path / "no.trace")
+        assert main(["replay", missing]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_replay_truncated_trace_fails(self, trace_file, tmp_path,
+                                          capsys):
+        stub = tmp_path / "cut.trace"
+        with open(trace_file, "rb") as handle:
+            stub.write_bytes(handle.read()[:80])
+        assert main(["replay", str(stub)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBatchCli:
+    def test_batch_json(self, tmp_path, capsys):
+        assert main(["batch", "--workloads", "gzip", "--scale", "0.25",
+                     "--out-dir", str(tmp_path / "traces"),
+                     "--workers", "1", "--json"]) == 0
+        out = capsys.readouterr().out
+        assert "batch: 1 workload(s)" in out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["gzip"]["record"]["ok"]
+        assert payload["gzip"]["replay"]["ok"]
+        assert payload["gzip"]["replay"]["payload"]["dep"]["constructs"]
+
+    def test_batch_failure_exit_code(self, tmp_path, capsys):
+        assert main(["batch", "--workloads", "definitely-not-real",
+                     "--out-dir", str(tmp_path / "traces"),
+                     "--workers", "1"]) == 1
+
+    def test_batch_bench_skips_failed_workloads(self, tmp_path, capsys):
+        """--bench must not crash when no workload recorded."""
+        assert main(["batch", "--workloads", "definitely-not-real",
+                     "--out-dir", str(tmp_path / "traces"),
+                     "--workers", "1", "--bench",
+                     "--bench-out", str(tmp_path / "B.json")]) == 1
+        err = capsys.readouterr().err
+        assert "skipped" in err
+        assert not (tmp_path / "B.json").exists()
+
+    def test_batch_bench_bad_analysis_reports_error(self, tmp_path,
+                                                    capsys):
+        assert main(["batch", "--workloads", "gzip", "--scale", "0.25",
+                     "--out-dir", str(tmp_path / "traces"),
+                     "--workers", "1", "--bench",
+                     "--bench-out", str(tmp_path / "B.json"),
+                     "--analysis", "dep,bogus"]) == 2
+        assert "unknown analysis" in capsys.readouterr().err
