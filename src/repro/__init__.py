@@ -36,8 +36,22 @@ Subpackages
     Harness that regenerates every table and figure of the paper.
 ``repro.trace``
     Record/replay: capture one execution as a compact trace, then
-    replay it through many analyses (dependence profile, reuse
-    distance, hot addresses) without re-running the interpreter.
+    replay it through many analyses without re-running the interpreter.
+``repro.analyses``
+    The unified plugin registry: every analysis (dependence profile,
+    reuse distance, hot addresses, event counts, flat/context
+    baselines, user plugins) as a drop-in module over one event stream.
+``repro.api``
+    :class:`Session`, the single entry point that runs any registered
+    analysis live, from a cached recording, or in batch.
+
+Typical use of the unified API::
+
+    from repro import Session
+
+    with Session() as session:
+        report = session.analyze(source_code, ["dep", "locality"])
+        print(report.to_text())
 """
 
 from repro.version import __version__
@@ -47,6 +61,11 @@ __all__ = [
     "ProfileOptions",
     "ProfileReport",
     "Advisor",
+    "Session",
+    "analyze",
+    "Analysis",
+    "AnalysisResult",
+    "register_analysis",
     "record_index_tree",
     "record_source",
     "replay_trace",
@@ -60,6 +79,11 @@ _LAZY = {
     "ProfileOptions": ("repro.core.alchemist", "ProfileOptions"),
     "ProfileReport": ("repro.core.report", "ProfileReport"),
     "Advisor": ("repro.core.advisor", "Advisor"),
+    "Session": ("repro.api", "Session"),
+    "analyze": ("repro.api", "analyze"),
+    "Analysis": ("repro.analyses", "Analysis"),
+    "AnalysisResult": ("repro.analyses", "AnalysisResult"),
+    "register_analysis": ("repro.analyses", "register"),
     "record_index_tree": ("repro.core.treedump", "record_index_tree"),
     "record_source": ("repro.trace.writer", "record_source"),
     "replay_trace": ("repro.trace.replay", "replay_trace"),

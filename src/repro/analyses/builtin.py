@@ -1,0 +1,481 @@
+"""The bundled analyses, all registered on the unified protocol.
+
+Each class here used to live behind a different front door — the
+dependence profiler behind ``Alchemist.profile``, the locality /
+hot-address / counting consumers behind ``ReplayEngine``'s private
+``CONSUMERS`` table, the flat and context baselines behind free
+functions in ``repro.baselines``. They are now uniform plugins: every
+one runs live, from a recorded trace, and in batch through the same
+registry, and every one is covered by the registry-parametrized
+live-vs-replay parity test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analyses.base import (Analysis, AnalysisContext, AnalysisResult,
+                                 OptionSpec, register)
+from repro.analysis.constructs import ConstructTable
+from repro.baselines.context_profiler import (ContextProfile,
+                                              ContextSensitiveTracer)
+from repro.baselines.flat_profiler import FlatProfile, FlatTracer
+from repro.core.profile_data import DepKind
+from repro.core.report import ProfileReport, RunStats
+from repro.core.tracer import AlchemistTracer
+from repro.ir.cfg import ProgramIR
+from repro.runtime.memory import Memory
+
+
+def profile_summary(report: ProfileReport) -> dict[str, Any]:
+    """Compact, JSON-able, order-stable digest of a ProfileReport.
+
+    Captures exactly what the replay-equivalence criterion cares about:
+    per-construct durations/instances and per-edge (min Tdep, count,
+    variable hint), keyed deterministically.
+    """
+    constructs = {}
+    for pc in sorted(report.store.profiles):
+        profile = report.store.profiles[pc]
+        edges = {}
+        for (head, tail, kind), stats in sorted(
+                profile.edges.items(),
+                key=lambda item: (item[0][0], item[0][1], item[0][2].value)):
+            edges[f"{head}->{tail}:{kind.value}"] = [
+                stats.min_tdep, stats.count, stats.var_hint]
+        constructs[str(pc)] = {
+            "name": profile.static.name,
+            "total_duration": profile.total_duration,
+            "instances": profile.instances,
+            "max_duration": profile.max_duration,
+            "edges": edges,
+        }
+    return {
+        "constructs": constructs,
+        "instructions": report.stats.instructions,
+        "dynamic_instances": report.stats.dynamic_instances,
+        "violating_raw": sum(
+            p.violating_count(DepKind.RAW)
+            for p in report.store.profiles.values()),
+        "exit_value": report.exit_value,
+    }
+
+
+@register
+class DependenceAnalysis(Analysis):
+    """The Alchemist dependence profiler as a plugin.
+
+    Wraps the unmodified :class:`AlchemistTracer`, so the profile —
+    per-construct edges, min-Tdep distances, durations, instance counts
+    — is *identical* whether the events come from a live interpreter or
+    a recorded trace (the equivalence tests assert this workload by
+    workload).
+    """
+
+    name = "dep"
+    description = ("Alchemist dependence profile: min RAW/WAR/WAW "
+                   "distance per construct")
+    options = (
+        OptionSpec("pool_size", int, 4096,
+                   "initial construct-pool size"),
+        OptionSpec("track_war_waw", bool, True,
+                   "also profile WAR/WAW dependences"),
+    )
+
+    def __init__(self, pool_size: int = 4096, track_war_waw: bool = True):
+        if pool_size <= 0:
+            raise ValueError(
+                f"pool_size must be positive, got {pool_size}")
+        self.pool_size = pool_size
+        self.track_war_waw = track_war_waw
+        self.table: ConstructTable | None = None
+        self.tracer: AlchemistTracer | None = None
+
+    def on_start(self, program: ProgramIR, memory: Memory) -> None:
+        self.table = ConstructTable(program)
+        tracer = AlchemistTracer(self.table, self.pool_size,
+                                 self.track_war_waw)
+        tracer.on_start(program, memory)
+        self.tracer = tracer
+        # Rebind the hot hooks straight to the inner tracer: both the
+        # interpreter and the replay engine look methods up after
+        # on_start, so dispatch skips this shim entirely.
+        self.on_enter_function = tracer.on_enter_function
+        self.on_exit_function = tracer.on_exit_function
+        self.on_block_enter = tracer.on_block_enter
+        self.on_branch = tracer.on_branch
+        self.on_read = tracer.on_read
+        self.on_write = tracer.on_write
+        self.on_frame_free = tracer.on_frame_free
+        self.on_finish = tracer.on_finish
+
+    def finish(self, ctx: AnalysisContext) -> AnalysisResult:
+        tracer = self.tracer
+        stats = RunStats(
+            wall_seconds=ctx.wall_seconds,
+            baseline_seconds=None,
+            instructions=ctx.final_time,
+            dynamic_instances=tracer.store.dynamic_instances,
+            static_constructs=self.table.static_count(),
+            max_index_depth=tracer.stack.max_depth,
+            raw_events=tracer.raw_events,
+            war_events=tracer.war_events,
+            waw_events=tracer.waw_events,
+            edges_profiled=tracer.profiler.edges_profiled,
+            pool=tracer.pool.stats,
+        )
+        report = ProfileReport(ctx.program, self.table, tracer.store,
+                               stats, ctx.exit_value,
+                               [tuple(v) for v in ctx.output])
+        kinds = ((DepKind.RAW, DepKind.WAW, DepKind.WAR)
+                 if self.track_war_waw else (DepKind.RAW,))
+        return AnalysisResult(
+            analysis=self.name,
+            data=profile_summary(report),
+            text=report.to_text(kinds=kinds),
+            payload=report,
+        )
+
+
+@dataclass
+class LocalityResult:
+    """Reuse-distance summary of one run."""
+
+    accesses: int = 0
+    distinct_addresses: int = 0
+    cold_misses: int = 0
+    #: log2 bucket -> access count; bucket k holds distances in
+    #: [2^(k-1), 2^k), bucket 0 holds distance 0 (back-to-back reuse).
+    histogram: dict[int, int] = field(default_factory=dict)
+
+    def hit_fraction(self, capacity: int) -> float:
+        """Fraction of reuses that fit a ``capacity``-word LRU cache."""
+        reuses = self.accesses - self.cold_misses
+        if reuses <= 0:
+            return 0.0
+        hits = sum(count for bucket, count in self.histogram.items()
+                   if (1 << bucket) <= capacity)
+        return hits / reuses
+
+
+@register
+class LocalityAnalysis(Analysis):
+    """Exact LRU reuse-distance histogram (a PROMPT-style analysis).
+
+    For every memory access, the reuse distance is the number of
+    *distinct* addresses touched since the previous access to the same
+    address — i.e. the minimal LRU cache size (in words) that would hit.
+    Computed exactly with a Fenwick tree over access sequence numbers
+    (O(log n) per access). Distances are bucketed by powers of two.
+
+    Addresses are physical interpreter words; stack reuse across frames
+    therefore counts as reuse of the same word, which is exactly the
+    cache behaviour a hardware-level locality profile would see.
+    """
+
+    name = "locality"
+    description = ("Exact LRU reuse-distance histogram over every "
+                   "memory access")
+
+    def __init__(self) -> None:
+        self._seq = 0
+        self._last: dict[int, int] = {}
+        self._tree: list[int] = [0]
+        self._live = 0
+        self.stats = LocalityResult()
+
+    def _access(self, addr: int, pc: int = 0, timestamp: int = 0) -> None:
+        stats = self.stats
+        stats.accesses += 1
+        seq = self._seq + 1
+        self._seq = seq
+        tree = self._tree
+        # Fenwick append: node ``seq`` covers ``(seq - lowbit, seq]``, so
+        # its initial value is the live count over that range (the new
+        # position itself contributes 1 — it is now `addr`'s last
+        # access).
+        before = self._prefix(seq - 1)
+        tree.append(1 + before - self._prefix(seq - (seq & -seq)))
+        last = self._last.get(addr)
+        self._last[addr] = seq
+        self._live += 1
+        if last is None:
+            stats.cold_misses += 1
+            return
+        # distance = live addresses whose last access falls strictly
+        # between `last` and `seq` = prefix(seq - 1) - prefix(last).
+        distance = before - self._prefix(last)
+        bucket = distance.bit_length()  # 0 -> 0, [2^(k-1), 2^k) -> k
+        stats.histogram[bucket] = stats.histogram.get(bucket, 0) + 1
+        # The superseded position stops representing a live address.
+        i = last
+        size = seq
+        while i <= size:
+            tree[i] -= 1
+            i += i & (-i)
+        self._live -= 1
+
+    # Both reads and writes are accesses (pc/timestamp unused).
+    on_read = _access
+    on_write = _access
+
+    def _prefix(self, i: int) -> int:
+        tree = self._tree
+        total = 0
+        while i > 0:
+            total += tree[i]
+            i -= i & (-i)
+        return total
+
+    def finish(self, ctx: AnalysisContext) -> AnalysisResult:
+        stats = self.stats
+        stats.distinct_addresses = len(self._last)
+        lines = [
+            "Reuse-distance profile:",
+            f"  accesses           {stats.accesses}",
+            f"  distinct addresses {stats.distinct_addresses}",
+            f"  cold misses        {stats.cold_misses}",
+        ]
+        for capacity in (64, 1024, 16384):
+            lines.append(f"  LRU({capacity:>5}) hit rate "
+                         f"{stats.hit_fraction(capacity):6.1%}")
+        lines.append("  distance histogram (log2 buckets):")
+        for bucket in sorted(stats.histogram):
+            lo = 0 if bucket == 0 else 1 << (bucket - 1)
+            lines.append(f"    >= {lo:>8}: {stats.histogram[bucket]}")
+        return AnalysisResult(
+            analysis=self.name,
+            data={
+                "accesses": stats.accesses,
+                "distinct_addresses": stats.distinct_addresses,
+                "cold_misses": stats.cold_misses,
+                "histogram": {str(k): v
+                              for k, v in sorted(stats.histogram.items())},
+            },
+            text="\n".join(lines),
+            payload=stats,
+        )
+
+
+@dataclass
+class HotAddress:
+    """One row of the hot-address histogram."""
+
+    addr: int
+    name: str
+    reads: int
+    writes: int
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+
+@register
+class HotAddressAnalysis(Analysis):
+    """Access-count histogram over addresses (contention spotting).
+
+    Names are resolved best-effort from the final memory state —
+    reconstructed on replay, live otherwise: globals and live heap
+    blocks name exactly; long-dead stack frames fall back to
+    ``stack+addr``.
+    """
+
+    name = "hot"
+    description = "Hottest addresses by read+write count, with names"
+    options = (
+        OptionSpec("top", int, 20, "rows to keep"),
+    )
+
+    def __init__(self, top: int = 20):
+        self.top = top
+        self._reads: dict[int, int] = {}
+        self._writes: dict[int, int] = {}
+
+    def on_read(self, addr: int, pc: int, timestamp: int) -> None:
+        reads = self._reads
+        reads[addr] = reads.get(addr, 0) + 1
+
+    def on_write(self, addr: int, pc: int, timestamp: int) -> None:
+        writes = self._writes
+        writes[addr] = writes.get(addr, 0) + 1
+
+    def finish(self, ctx: AnalysisContext) -> AnalysisResult:
+        totals: dict[int, int] = dict(self._reads)
+        for addr, count in self._writes.items():
+            totals[addr] = totals.get(addr, 0) + count
+        ranked = sorted(totals, key=lambda a: (-totals[a], a))[:self.top]
+        rows = [HotAddress(addr=addr,
+                           name=ctx.memory.addr_to_name(addr),
+                           reads=self._reads.get(addr, 0),
+                           writes=self._writes.get(addr, 0))
+                for addr in ranked]
+        lines = ["Hottest addresses (reads+writes):"]
+        for row in rows:
+            lines.append(f"  {row.total:>10}  {row.name:<28} "
+                         f"(r={row.reads}, w={row.writes}, "
+                         f"addr={row.addr})")
+        return AnalysisResult(
+            analysis=self.name,
+            data={"top": self.top,
+                  "rows": [{"addr": row.addr, "name": row.name,
+                            "reads": row.reads, "writes": row.writes}
+                           for row in rows]},
+            text="\n".join(lines),
+            payload=rows,
+        )
+
+
+@register
+class CountingAnalysis(Analysis):
+    """Event counts; the registered twin of ``CountingTracer``."""
+
+    name = "counts"
+    description = "Raw event statistics (reads, writes, calls, ...)"
+
+    def __init__(self) -> None:
+        self.counts = {"reads": 0, "writes": 0, "calls": 0,
+                       "branches": 0, "blocks": 0, "allocs": 0,
+                       "frees": 0}
+
+    def on_enter_function(self, fn_name, entry_pc, timestamp) -> None:
+        self.counts["calls"] += 1
+
+    def on_block_enter(self, block_id, timestamp) -> None:
+        self.counts["blocks"] += 1
+
+    def on_branch(self, pc, target_block, timestamp) -> None:
+        self.counts["branches"] += 1
+
+    def on_read(self, addr, pc, timestamp) -> None:
+        self.counts["reads"] += 1
+
+    def on_write(self, addr, pc, timestamp) -> None:
+        self.counts["writes"] += 1
+
+    def on_heap_alloc(self, base, size, timestamp) -> None:
+        self.counts["allocs"] += 1
+
+    def on_frame_free(self, lo, hi) -> None:
+        self.counts["frees"] += 1
+
+    def finish(self, ctx: AnalysisContext) -> AnalysisResult:
+        counts = dict(self.counts)
+        text = "Event counts: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(counts.items()))
+        # payload is a separate copy: mutating it must not corrupt
+        # what to_dict()/to_json() serialize.
+        return AnalysisResult(analysis=self.name, data=counts, text=text,
+                              payload=dict(counts))
+
+
+def _edge_rows(edges: dict, describe) -> list[str]:
+    ranked = sorted(edges.values(),
+                    key=lambda e: (-e.count, e.min_tdep))[:8]
+    return [f"  {describe(edge)}" for edge in ranked]
+
+
+@register
+class FlatDependenceAnalysis(Analysis):
+    """The context-insensitive baseline profiler as a plugin.
+
+    Wraps :class:`~repro.baselines.flat_profiler.FlatTracer`: every
+    dependence is attributed to its static ``(head pc, tail pc)`` pair
+    only — the "traditional profiling" strawman the paper's §III opens
+    with, now comparable against ``dep`` in a single replay pass.
+    """
+
+    name = "flat"
+    description = ("Baseline: dependences aggregated by static PC "
+                   "pair only")
+
+    def __init__(self) -> None:
+        self.tracer: FlatTracer | None = None
+
+    def on_start(self, program: ProgramIR, memory: Memory) -> None:
+        tracer = FlatTracer(program)
+        self.tracer = tracer
+        self.on_read = tracer.on_read
+        self.on_write = tracer.on_write
+        self.on_frame_free = tracer.on_frame_free
+        self.on_finish = tracer.on_finish
+
+    @property
+    def profile(self) -> FlatProfile:
+        return self.tracer.profile
+
+    def finish(self, ctx: AnalysisContext) -> AnalysisResult:
+        profile = self.tracer.profile
+        edges = {}
+        for (head, tail, kind), edge in sorted(
+                profile.edges.items(),
+                key=lambda item: (item[0][0], item[0][1], item[0][2].value)):
+            edges[f"{head}->{tail}:{kind.value}"] = [edge.min_tdep,
+                                                     edge.count]
+        program = ctx.program
+        lines = [f"Flat dependence profile: {len(edges)} static edge(s)"]
+        lines += _edge_rows(
+            profile.edges,
+            lambda e: (f"{program.loc_of(e.head_pc)[0]}->"
+                       f"{program.loc_of(e.tail_pc)[0]} {e.kind.value}: "
+                       f"min Tdep {e.min_tdep}, x{e.count}"))
+        return AnalysisResult(
+            analysis=self.name,
+            data={"edges": edges, "instructions": profile.instructions},
+            text="\n".join(lines),
+            payload=profile,
+        )
+
+
+@register
+class ContextDependenceAnalysis(Analysis):
+    """The context-sensitive baseline profiler as a plugin.
+
+    Wraps :class:`ContextSensitiveTracer`: dependences attributed to
+    the calling contexts of both endpoints — the granularity of the
+    profilers the paper's §III-B criticizes, and reproducibly unable to
+    separate loop-carried from loop-local dependences.
+    """
+
+    name = "context"
+    description = ("Baseline: dependences attributed to calling "
+                   "contexts")
+
+    def __init__(self) -> None:
+        self.tracer = ContextSensitiveTracer()
+        tracer = self.tracer
+        self.on_enter_function = tracer.on_enter_function
+        self.on_exit_function = tracer.on_exit_function
+        self.on_read = tracer.on_read
+        self.on_write = tracer.on_write
+        self.on_frame_free = tracer.on_frame_free
+        self.on_finish = tracer.on_finish
+
+    @property
+    def profile(self) -> ContextProfile:
+        return self.tracer.profile
+
+    def finish(self, ctx: AnalysisContext) -> AnalysisResult:
+        profile = self.tracer.profile
+        edges = {}
+        for key, edge in sorted(
+                profile.edges.items(),
+                key=lambda item: (item[0][2], item[0][3],
+                                  item[0][4].value, item[0][0], item[0][1])):
+            head = ">".join(edge.head_context)
+            tail = ">".join(edge.tail_context)
+            edges[f"{head}|{tail}|{edge.head_pc}->{edge.tail_pc}"
+                  f":{edge.kind.value}"] = [edge.min_tdep, edge.count]
+        lines = [f"Context dependence profile: {len(edges)} edge(s)"]
+        lines += _edge_rows(
+            profile.edges,
+            lambda e: (f"{'>'.join(e.head_context)} -> "
+                       f"{'>'.join(e.tail_context)} {e.kind.value}: "
+                       f"min Tdep {e.min_tdep}, x{e.count}"))
+        return AnalysisResult(
+            analysis=self.name,
+            data={"edges": edges, "instructions": profile.instructions},
+            text="\n".join(lines),
+            payload=profile,
+        )

@@ -1,0 +1,357 @@
+"""The unified entry point: one ``Session``, every analysis, any mode.
+
+Historically the repo had three incompatible front doors —
+``Alchemist.profile()`` for live dependence profiling, ``ReplayEngine``
+for traces, and free functions for the baseline profilers. A
+:class:`Session` replaces all of them with one call::
+
+    from repro.api import Session
+
+    with Session() as session:
+        report = session.analyze(source, ["dep", "locality", "hot"])
+        print(report.to_text())
+        print(report["dep"].payload.top_constructs(5))
+
+``analyze`` resolves analyses through the shared plugin registry
+(:mod:`repro.analyses`), records the program **at most once** per
+source digest (compiled IR and recorded traces are both cached on the
+session), and fans the trace out to every requested analysis in a
+single replay pass. Only analyses that declare ``requires_live`` — or
+an explicit ``mode="live"`` — execute the program, and even then one
+interpreter run feeds all of them through a
+:class:`~repro.runtime.tracing.TeeTracer`.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time as _time
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.analyses import (Analysis, AnalysisContext, AnalysisError,
+                            AnalysisResult, make_analyses, parse_spec)
+from repro.core.alchemist import ProfileOptions
+from repro.ir.cfg import ProgramIR
+from repro.ir.lowering import compile_source
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.tracing import TeeTracer
+from repro.trace.events import source_digest
+
+#: analyze() run modes.
+MODES = ("auto", "live", "replay")
+
+
+@dataclass
+class SessionStats:
+    """Cache behaviour of one session (observability + tests)."""
+
+    compiles: int = 0
+    compile_hits: int = 0
+    records: int = 0
+    record_hits: int = 0
+    live_runs: int = 0
+    replay_passes: int = 0
+
+
+@dataclass
+class SessionReport:
+    """Everything one :meth:`Session.analyze` call produced."""
+
+    filename: str
+    digest: str
+    results: dict[str, AnalysisResult]
+    modes: dict[str, str]
+    trace_path: str | None
+    wall_seconds: float
+
+    def __getitem__(self, name: str) -> AnalysisResult:
+        return self.results[name]
+
+    def __iter__(self):
+        return iter(self.results.values())
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "file": self.filename,
+            "digest": self.digest,
+            "mode": dict(self.modes),
+            "analyses": {name: result.to_dict()
+                         for name, result in self.results.items()},
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_text(self) -> str:
+        parts = []
+        for name, result in self.results.items():
+            parts.append(f"== {name} ({self.modes[name]}) ==")
+            parts.append(result.text)
+        return "\n".join(parts)
+
+
+class Session:
+    """Owns compiled-IR and recorded-trace caches keyed by source digest.
+
+    Reusable across programs and across ``analyze`` calls; asking new
+    questions about an already-seen source costs one replay pass, never
+    a re-execution. Traces live in ``cache_dir`` (a private temporary
+    directory by default, removed on :meth:`close` / context exit).
+    """
+
+    def __init__(self, options: ProfileOptions | None = None,
+                 cache_dir: str | os.PathLike | None = None):
+        self.options = options if options is not None else ProfileOptions()
+        self.stats = SessionStats()
+        # Programs are keyed by (digest, filename): same content under a
+        # new name recompiles so reports attribute to the right file.
+        # Traces are keyed by digest alone — the event stream does not
+        # depend on the filename, so one recording serves every alias.
+        self._programs: dict[tuple[str, str], ProgramIR] = {}
+        self._traces: dict[str, str] = {}
+        self._tmpdir: tempfile.TemporaryDirectory | None = None
+        self._cache_dir = os.fspath(cache_dir) if cache_dir else None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop caches; remove the private trace directory if we made it."""
+        self._programs.clear()
+        self._traces.clear()
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _trace_dir(self) -> str:
+        if self._cache_dir is not None:
+            os.makedirs(self._cache_dir, exist_ok=True)
+            return self._cache_dir
+        if self._tmpdir is None:
+            self._tmpdir = tempfile.TemporaryDirectory(
+                prefix="alchemist-session-")
+        return self._tmpdir.name
+
+    # -- cached primitives --------------------------------------------------
+
+    def compile(self, source: str, filename: str = "<input>") -> ProgramIR:
+        """Compile MiniC source to IR, cached by (digest, filename)."""
+        key = (source_digest(source), filename)
+        cached = self._programs.get(key)
+        if cached is not None:
+            self.stats.compile_hits += 1
+            return cached
+        program = compile_source(source, filename)
+        self._programs[key] = program
+        self.stats.compiles += 1
+        return program
+
+    def record(self, source: str, filename: str = "<input>") -> str:
+        """Record one execution into the trace cache; returns the path.
+
+        Repeated calls for the same source (any filename) return the
+        cached trace without re-running the program.
+        """
+        from repro.trace.writer import record_program
+
+        digest = source_digest(source)
+        cached = self._traces.get(digest)
+        if cached is not None:
+            self.stats.record_hits += 1
+            return cached
+        program = self.compile(source, filename)
+        path = os.path.join(self._trace_dir(), f"{digest[:16]}.trace")
+        record_program(program, path, source=source, filename=filename,
+                       max_steps=self.options.max_steps)
+        self._traces[digest] = path
+        self.stats.records += 1
+        return path
+
+    # -- the one entry point ------------------------------------------------
+
+    def analyze(self, source: str,
+                analyses: str | Iterable[str] = ("dep",), *,
+                filename: str = "<input>",
+                mode: str = "auto",
+                options: Mapping[str, Mapping[str, Any]] | None = None
+                ) -> SessionReport:
+        """Run the named analyses over ``source`` and return all results.
+
+        ``mode="auto"`` (default) records at most once and replays,
+        running live only the analyses that demand it; ``mode="live"``
+        executes the program instead (one interpreter run feeds every
+        analysis); ``mode="replay"`` errors if any analysis demands a
+        live run — note the source is still *recorded* once (one
+        execution) if this session has no cached trace for it yet.
+        Per-analysis options ride in ``options``, e.g.
+        ``{"hot": {"top": 5}}``.
+        """
+        if mode not in MODES:
+            raise AnalysisError(
+                f"unknown mode {mode!r} (known: {', '.join(MODES)})")
+        requested = parse_spec(analyses)
+        stray = sorted(set(options or {}) - set(requested))
+        if stray:
+            # A typo'd options key would otherwise be dropped silently
+            # and the defaults applied.
+            raise AnalysisError(
+                "options given for analyses that were not requested: "
+                + ", ".join(stray))
+        merged = self._merge_options(options)
+        instances = make_analyses(requested, merged)
+        start = _time.perf_counter()
+
+        live: list[Analysis] = []
+        replayed: list[Analysis] = []
+        for analysis in instances:
+            if mode == "live" or analysis.requires_live:
+                live.append(analysis)
+            else:
+                replayed.append(analysis)
+        if mode == "replay" and live:
+            names = ", ".join(a.name for a in live)
+            raise AnalysisError(
+                f"analysis requires live execution: {names} "
+                "(mode='replay' forbids attaching analyses to a live "
+                "run)")
+
+        results: dict[str, AnalysisResult] = {}
+        modes: dict[str, str] = {}
+        trace_path: str | None = None
+        live_ctx: AnalysisContext | None = None
+        if replayed:
+            from repro.trace.replay import replay_with
+
+            program = self.compile(source, filename)
+            if live and source_digest(source) not in self._traces:
+                # Mixed request on a cold cache: one execution both
+                # records the trace and feeds the live analyses (the
+                # writer is just another tracer on the tee).
+                trace_path, live_ctx = self._record_and_run_live(
+                    source, filename, live)
+            else:
+                trace_path = self.record(source, filename)
+            outcome = replay_with(trace_path, replayed, program)
+            self.stats.replay_passes += 1
+            for analysis in replayed:
+                results[analysis.name] = outcome.reports[analysis.name]
+                modes[analysis.name] = "replay"
+        if live:
+            if live_ctx is None:
+                live_ctx = self._run_live(source, filename, live)
+            for analysis in live:
+                report = analysis.finish(live_ctx)
+                analysis.last_result = report
+                results[analysis.name] = report
+                modes[analysis.name] = "live"
+            self._attach_baseline(results, live)
+
+        # Report results in request order, not execution order.
+        ordered = {a.name: results[a.name] for a in instances}
+        return SessionReport(
+            filename=filename,
+            digest=source_digest(source),
+            results=ordered,
+            modes={name: modes[name] for name in ordered},
+            trace_path=trace_path,
+            wall_seconds=_time.perf_counter() - start,
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    def _merge_options(self, options: Mapping | None
+                       ) -> dict[str, dict[str, Any]]:
+        """Session-level ProfileOptions become 'dep' defaults; explicit
+        per-analysis options win."""
+        merged: dict[str, dict[str, Any]] = {
+            "dep": {"pool_size": self.options.pool_size,
+                    "track_war_waw": self.options.track_war_waw},
+        }
+        for name, opts in (options or {}).items():
+            merged.setdefault(name, {}).update(opts)
+        return merged
+
+    def _run_live(self, source: str, filename: str,
+                  analyses: list[Analysis],
+                  recorder=None) -> AnalysisContext:
+        """One interpreter run feeding every live analysis (and, when
+        ``recorder`` is given, the trace writer too)."""
+        program = self.compile(source, filename)
+        tracers = ([recorder] if recorder is not None else []) + analyses
+        tee = TeeTracer(tracers)
+        interp = Interpreter(program, tee, self.options.max_steps)
+        start = _time.perf_counter()
+        try:
+            exit_value = interp.run()
+        except BaseException:
+            if recorder is not None:
+                recorder.abort()
+            raise
+        wall = _time.perf_counter() - start
+        if recorder is not None:
+            recorder.close(exit_value, interp.output)
+        self.stats.live_runs += 1
+        return AnalysisContext(
+            program=program,
+            memory=interp.memory,
+            final_time=interp.time,
+            exit_value=exit_value,
+            output=[tuple(v) for v in interp.output],
+            events=None,
+            wall_seconds=wall,
+            mode="live",
+        )
+
+    def _record_and_run_live(self, source: str, filename: str,
+                             analyses: list[Analysis]
+                             ) -> tuple[str, AnalysisContext]:
+        """Record the trace and feed the live analyses in ONE run."""
+        from repro.trace.writer import TraceWriter
+
+        digest = source_digest(source)
+        path = os.path.join(self._trace_dir(), f"{digest[:16]}.trace")
+        writer = TraceWriter(path, source, filename)
+        ctx = self._run_live(source, filename, analyses, recorder=writer)
+        self._traces[digest] = path
+        self.stats.records += 1
+        return path, ctx
+
+    def _attach_baseline(self, results: dict[str, AnalysisResult],
+                         live: list[Analysis]) -> None:
+        """Honour ``ProfileOptions.measure_baseline`` for a live `dep`
+        run, matching ``Alchemist.profile`` (Table III's Orig. column).
+        The timing stays out of ``AnalysisResult.data`` by design."""
+        if not self.options.measure_baseline:
+            return
+        for analysis in live:
+            if analysis.name != "dep":
+                continue
+            report = results["dep"].payload
+            from repro.runtime.tracing import NullTracer
+
+            interp = Interpreter(report.program, NullTracer(),
+                                 self.options.max_steps)
+            start = _time.perf_counter()
+            interp.run()
+            report.stats.baseline_seconds = (_time.perf_counter()
+                                             - start)
+
+
+def analyze(source: str, analyses: str | Iterable[str] = ("dep",),
+            **kwargs) -> SessionReport:
+    """One-shot convenience: ``Session().analyze(...)`` with cleanup."""
+    with Session() as session:
+        report = session.analyze(source, analyses, **kwargs)
+    # The session-owned trace directory is gone; don't hand out a
+    # dangling path.
+    report.trace_path = None
+    return report

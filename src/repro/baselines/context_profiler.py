@@ -153,11 +153,17 @@ class ContextSensitiveTracer(Tracer):
 def profile_with_contexts(source: str | None = None, *,
                           program: ProgramIR | None = None
                           ) -> ContextProfile:
-    """Run a program under the context-sensitive baseline."""
+    """Deprecated shim: run the registered ``context`` analysis live.
+
+    Prefer ``Session.analyze(source, ["context"])`` (:mod:`repro.api`),
+    which shares one recording with every other analysis.
+    """
+    from repro.analyses.builtin import ContextDependenceAnalysis
+
     if program is None:
         if source is None:
             raise ValueError("need source or program")
         program = compile_source(source)
-    tracer = ContextSensitiveTracer()
-    Interpreter(program, tracer).run()
-    return tracer.profile
+    analysis = ContextDependenceAnalysis()
+    Interpreter(program, analysis).run()
+    return analysis.profile

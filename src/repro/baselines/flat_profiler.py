@@ -126,11 +126,17 @@ class FlatTracer(Tracer):
 
 def profile_flat(source: str | None = None, *,
                  program: ProgramIR | None = None) -> FlatProfile:
-    """Run a program under the flat baseline profiler."""
+    """Deprecated shim: run the registered ``flat`` analysis live.
+
+    Prefer ``Session.analyze(source, ["flat"])`` (:mod:`repro.api`),
+    which shares one recording with every other analysis.
+    """
+    from repro.analyses.builtin import FlatDependenceAnalysis
+
     if program is None:
         if source is None:
             raise ValueError("need source or program")
         program = compile_source(source)
-    tracer = FlatTracer(program)
-    Interpreter(program, tracer).run()
-    return tracer.profile
+    analysis = FlatDependenceAnalysis()
+    Interpreter(program, analysis).run()
+    return analysis.profile

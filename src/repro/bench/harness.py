@@ -302,8 +302,9 @@ def trace_bench_rows(names: list[str] | None = None, scale: float = 0.5,
     import os
     import tempfile
 
+    from repro.analyses import make_analyses
     from repro.runtime.interpreter import run_source
-    from repro.trace.replay import make_consumers, replay_trace
+    from repro.trace.replay import replay_trace
     from repro.trace.writer import record_source
 
     from repro.workloads import names as workload_names
@@ -329,7 +330,8 @@ def trace_bench_rows(names: list[str] | None = None, scale: float = 0.5,
                 if analysis == "dep":
                     Alchemist().profile(source)
                 else:
-                    run_source(source, tracer=make_consumers([analysis])[0])
+                    # Registered analyses double as live tracers.
+                    run_source(source, tracer=make_analyses([analysis])[0])
             live_best = min(live_best, time.perf_counter() - start)
 
         record_best = float("inf")

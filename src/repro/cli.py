@@ -4,8 +4,15 @@ Subcommands
 -----------
 ``run FILE``
     Execute a MiniC program (uninstrumented).
+``analyze FILE --analysis a,b,c [--json]``
+    The unified front door: run any set of registered analyses over a
+    program through one :class:`~repro.api.Session` — the program is
+    recorded at most once and the trace fans out to every analysis in
+    a single replay pass (``--live`` executes instead of replaying).
+``analyses``
+    List every registered analysis with its description and options.
 ``profile FILE``
-    Profile a MiniC program and print the ranked construct listing
+    Thin alias for a live ``dep`` analysis: ranked construct listing
     (Fig. 2/3 style) plus the advisor's recommendations.
 ``speedup FILE --line N``
     Simulate parallelizing the construct at line N as futures.
@@ -18,15 +25,20 @@ Subcommands
     Execute once under the trace recorder; every interpreter event is
     streamed into a compact self-contained trace file.
 ``replay x.trace --analysis dep,locality,hot``
-    Replay a recorded trace through any subset of analyses — no
-    re-execution; N analyses cost one recorded run plus N cheap passes.
+    Thin alias for replaying an existing trace file through registered
+    analyses — no re-execution.
 ``batch``
     Record and replay many workloads concurrently (multiprocessing);
-    ``--bench`` also writes the replay-vs-rerun speedup artifact.
+    analyses resolve through the registry; ``--bench`` also writes the
+    BENCH_trace.json replay-vs-rerun speedup artifact.
 ``workloads``
     List the bundled benchmark ports.
 ``experiments``
     Regenerate every table and figure of the paper.
+
+Every verb that takes a ``FILE`` reports a missing/unreadable path as
+a one-line ``error: ...`` on stderr with exit code 2 (handled centrally
+in :func:`main`), never a traceback.
 """
 
 from __future__ import annotations
@@ -35,15 +47,27 @@ import argparse
 import sys
 
 from repro.core.advisor import Advisor
-from repro.core.alchemist import Alchemist, ProfileOptions
+from repro.core.alchemist import ProfileOptions
 from repro.core.profile_data import DepKind
 from repro.runtime.interpreter import run_source
 from repro.version import __version__
 
 
+class CliError(Exception):
+    """An expected user-facing failure: exit 2 with one line."""
+
+
 def _read(path: str) -> str:
     with open(path) as handle:
         return handle.read()
+
+
+def _profile_options(args: argparse.Namespace) -> ProfileOptions:
+    try:
+        return ProfileOptions(pool_size=args.pool_size,
+                              track_war_waw=not args.raw_only)
+    except ValueError as exc:
+        raise CliError(str(exc)) from None
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -52,11 +76,61 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return value
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.api import Session
+
+    # dep-only flags ride as per-analysis options so Session's central
+    # stray-options check rejects them when 'dep' was not requested.
+    options = None
+    if args.pool_size is not None or args.raw_only:
+        options = {"dep": {
+            "pool_size": (args.pool_size if args.pool_size is not None
+                          else 4096),
+            "track_war_waw": not args.raw_only,
+        }}
+    source = _read(args.file)
+    with Session() as session:
+        report = session.analyze(source, args.analysis,
+                                 filename=args.file,
+                                 mode="live" if args.live else "auto",
+                                 options=options)
+    if args.json:
+        print(report.to_json())
+        return 0
+    replayed = sum(1 for m in report.modes.values() if m == "replay")
+    live = len(report.modes) - replayed
+    parts = []
+    if replayed:
+        parts.append(f"replayed 1 recording through {replayed}")
+    if live:
+        parts.append(f"ran live for {live}")
+    print(f"analyzed {args.file}: {' + '.join(parts)} analysis(es) "
+          f"in {report.wall_seconds:.3f}s")
+    print()
+    print(report.to_text())
+    return 0
+
+
+def _cmd_analyses(args: argparse.Namespace) -> int:
+    from repro.analyses import registry
+
+    for name, cls in sorted(registry().items()):
+        tag = "  [live only]" if cls.requires_live else ""
+        print(f"{name:10s} {cls.description}{tag}")
+        for spec in cls.options:
+            print(f"{'':10s}   {spec.name}={spec.default!r} "
+                  f"({spec.type.__name__}) {spec.help}")
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
-    options = ProfileOptions(pool_size=args.pool_size,
-                             track_war_waw=not args.raw_only)
-    report = Alchemist(options).profile(_read(args.file),
-                                        filename=args.file)
+    from repro.api import Session
+
+    options = _profile_options(args)
+    with Session(options) as session:
+        outcome = session.analyze(_read(args.file), ("dep",),
+                                  filename=args.file, mode="live")
+    report = outcome["dep"].payload
     kinds = (DepKind.RAW,) if args.raw_only else (
         DepKind.RAW, DepKind.WAW, DepKind.WAR)
     print(report.to_text(top=args.top, max_edges=args.edges, kinds=kinds))
@@ -74,9 +148,12 @@ def _cmd_speedup(args: argparse.Namespace) -> int:
     from repro.parallel.estimator import estimate_speedup
 
     private = tuple(v for v in (args.private or "").split(",") if v)
-    result = estimate_speedup(
-        _read(args.file), line=args.line, workers=args.workers,
-        privatize=not args.no_privatize, private_vars=private)
+    try:
+        result = estimate_speedup(
+            _read(args.file), line=args.line, workers=args.workers,
+            privatize=not args.no_privatize, private_vars=private)
+    except (ValueError, KeyError) as exc:
+        raise CliError(str(exc)) from None
     print(result.describe())
     graph = result.graph
     print(f"tasks={len(graph.tasks)} serial={graph.serial_time} "
@@ -88,12 +165,11 @@ def _cmd_speedup(args: argparse.Namespace) -> int:
 def _cmd_annotate(args: argparse.Namespace) -> int:
     from repro.core.annotate import annotate_text
 
-    source = _read(args.file)
     try:
-        print(annotate_text(source, line=args.line, context=args.context))
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        print(annotate_text(_read(args.file), line=args.line,
+                            context=args.context))
+    except ValueError as exc:  # unknown line: a user error, not a bug
+        raise CliError(str(exc)) from None
     return 0
 
 
@@ -123,13 +199,9 @@ def _cmd_record(args: argparse.Namespace) -> int:
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
-    from repro.trace import TraceError, replay_trace
+    from repro.trace import replay_trace
 
-    try:
-        outcome = replay_trace(args.trace, args.analysis)
-    except (TraceError, OSError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    outcome = replay_trace(args.trace, args.analysis)
     ctx = outcome.context
     print(f"replayed {ctx.events} events ({ctx.final_time} instructions) "
           f"through {len(outcome.consumers)} analysis(es) "
@@ -142,32 +214,29 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 def _cmd_batch(args: argparse.Namespace) -> int:
     import json
 
+    from repro.analyses import get_analysis, parse_spec
     from repro.trace.batch import record_replay_many
     from repro.workloads import names as workload_names
 
     names = ([n.strip() for n in args.workloads.split(",") if n.strip()]
              if args.workloads else workload_names())
-    analyses = tuple(n.strip() for n in args.analysis.split(",")
-                     if n.strip())
+    analyses = tuple(parse_spec(args.analysis))
+    for name in analyses:  # fail fast through the registry
+        get_analysis(name)
     report = record_replay_many(names, args.out_dir, analyses=analyses,
                                 workers=args.workers, scale=args.scale)
     print(report.describe())
     failed = [r for r in report.records + report.replays if not r.ok]
     if args.bench:
         from repro.bench.harness import trace_bench
-        from repro.trace import TraceError
 
         # Bench only what actually recorded; a bad workload name or a
         # failed record is already reported above, not a crash here.
         recorded = [r.job.name for r in report.records if r.ok]
         if recorded:
-            try:
-                data = trace_bench(recorded, scale=args.scale,
-                                   analyses=analyses,
-                                   out_path=args.bench_out)
-            except TraceError as exc:
-                print(f"error: {exc}", file=sys.stderr)
-                return 2
+            data = trace_bench(recorded, scale=args.scale,
+                               analyses=analyses,
+                               out_path=args.bench_out)
             total = data["total"]
             print(f"\nreplay-vs-rerun: {total['live_seconds']:.3f}s live "
                   f"vs {total['record_seconds'] + total['replay_seconds']:.3f}s "
@@ -237,6 +306,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("file")
     p_run.set_defaults(func=_cmd_run)
 
+    p_ana = sub.add_parser(
+        "analyze", help="run any registered analyses over a program")
+    p_ana.add_argument("file")
+    p_ana.add_argument("--analysis", default="dep",
+                       help="comma-separated registered analyses "
+                            "(see `alchemist analyses`; default: dep)")
+    p_ana.add_argument("--json", action="store_true",
+                       help="emit the structured report as JSON")
+    p_ana.add_argument("--live", action="store_true",
+                       help="execute the program instead of replaying "
+                            "a recording")
+    p_ana.add_argument("--pool-size", type=int, default=None,
+                       help="construct-pool size (dep analysis; "
+                            "default 4096)")
+    p_ana.add_argument("--raw-only", action="store_true",
+                       help="skip WAR/WAW tracking (dep analysis)")
+    p_ana.set_defaults(func=_cmd_analyze)
+
+    p_lst = sub.add_parser("analyses",
+                           help="list the registered analyses")
+    p_lst.set_defaults(func=_cmd_analyses)
+
     p_prof = sub.add_parser("profile", help="profile a MiniC program")
     p_prof.add_argument("file")
     p_prof.add_argument("--top", type=int, default=10,
@@ -292,8 +383,8 @@ def build_parser() -> argparse.ArgumentParser:
                            help="replay a recorded trace through analyses")
     p_rep.add_argument("trace")
     p_rep.add_argument("--analysis", default="dep",
-                       help="comma-separated analyses: dep, locality, "
-                            "hot, counts (default: dep)")
+                       help="comma-separated registered analyses "
+                            "(default: dep)")
     p_rep.set_defaults(func=_cmd_replay)
 
     p_batch = sub.add_parser(
@@ -330,9 +421,34 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _expected_errors() -> tuple[type[BaseException], ...]:
+    """The user-facing failure types; imported lazily (cold path only)
+    so plain verbs don't pay for the analyses/trace import chains."""
+    from repro.analyses import AnalysisError
+    from repro.lang.errors import CompileError
+    from repro.runtime.errors import MiniCRuntimeError
+    from repro.trace.events import TraceError
+
+    return (OSError, UnicodeDecodeError, TraceError, AnalysisError,
+            CompileError, MiniCRuntimeError, CliError)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except Exception as exc:
+        # One place for every verb: bad FILE paths (missing, unreadable,
+        # binary), MiniC compile and runtime errors, corrupt traces,
+        # unknown analyses, and invalid options all exit 2 with a
+        # single-line diagnostic instead of a traceback. Deliberately
+        # NOT a bare ValueError: an unexpected ValueError is an
+        # internal bug and should traceback (verbs wrap their expected
+        # ones in CliError).
+        if not isinstance(exc, _expected_errors()):
+            raise
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

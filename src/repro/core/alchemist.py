@@ -39,6 +39,17 @@ class ProfileOptions:
     #: (Table III's Orig. column).
     measure_baseline: bool = False
 
+    def __post_init__(self) -> None:
+        # Fail at construction: a non-positive pool size used to surface
+        # as an opaque failure deep inside the construct pool, and a
+        # non-positive step budget as a run that executes nothing.
+        if self.pool_size <= 0:
+            raise ValueError(
+                f"pool_size must be positive, got {self.pool_size}")
+        if self.max_steps <= 0:
+            raise ValueError(
+                f"max_steps must be positive, got {self.max_steps}")
+
 
 class Alchemist:
     """Transparent dependence-distance profiler for MiniC programs."""

@@ -69,6 +69,63 @@ class NullTracer(Tracer):
     """The baseline: no instrumentation (the paper's 'Orig.' runs)."""
 
 
+#: Every event hook, derived from Tracer so a hook added there is
+#: automatically fanned out by TeeTracer (on_start is dispatch setup,
+#: not an event). The replay engine's per-event dispatch necessarily
+#: stays hand-written (it decodes trace records), but it reads this
+#: tuple's source of truth via tests.
+TRACER_HOOKS = tuple(name for name in vars(Tracer)
+                     if name.startswith("on_") and name != "on_start")
+
+
+def overridden_hooks(tracers: list, hook_name: str) -> list:
+    """Bound ``hook_name`` methods that actually override the base
+    no-op. Shared by every event dispatcher (the replay engine, the
+    live tee) so a tracer only pays for the events it handles."""
+    base = getattr(Tracer, hook_name)
+    hooks = []
+    for tracer in tracers:
+        hook = getattr(tracer, hook_name)
+        if getattr(hook, "__func__", None) is not base:
+            hooks.append(hook)
+    return hooks
+
+
+class TeeTracer(Tracer):
+    """Fans one interpreter run out to any number of child tracers.
+
+    This is the live twin of the replay engine's dispatch: one
+    execution feeds N analyses. ``on_start`` forwards to every child
+    first (children may rebind their own hooks there), then rebinds
+    this tracer's hooks to per-event dispatchers that skip children
+    inheriting the base no-op — a child that never overrides
+    ``on_block_enter`` costs nothing on block events, and a single
+    interested child is called directly with no fan-out loop at all.
+    """
+
+    def __init__(self, children: list[Tracer]):
+        self.children = list(children)
+
+    def on_start(self, program: ProgramIR, memory: Memory) -> None:
+        for child in self.children:
+            child.on_start(program, memory)
+        for name in TRACER_HOOKS:
+            hooks = overridden_hooks(self.children, name)
+            if not hooks:
+                continue
+            if len(hooks) == 1:
+                setattr(self, name, hooks[0])
+            else:
+                setattr(self, name, self._fan(hooks))
+
+    @staticmethod
+    def _fan(hooks: list):
+        def dispatch(*args):
+            for hook in hooks:
+                hook(*args)
+        return dispatch
+
+
 class CountingTracer(Tracer):
     """Cheap event statistics; used by tests and the bench harness."""
 

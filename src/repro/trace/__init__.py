@@ -12,11 +12,11 @@ costs a full re-execution. This package decouples the two:
     :class:`TraceReader`, a lazy streaming reader — traces larger than
     memory replay fine because events are decoded chunk by chunk.
 ``repro.trace.replay``
-    :class:`ReplayEngine` drives pluggable :class:`TraceConsumer`\\ s
-    over a recorded trace without re-running the interpreter. Bundled
-    consumers: the ported dependence profiler (``dep``), a
-    reuse-distance locality analyzer (``locality``), a hot-address
-    histogram (``hot``), and event counting (``counts``).
+    :class:`ReplayEngine` drives :class:`repro.analyses.Analysis`
+    plugins over a recorded trace without re-running the interpreter.
+    Analyses resolve through the shared registry (``dep``,
+    ``locality``, ``hot``, ``counts``, ``flat``, ``context``, plus
+    anything registered with ``@repro.analyses.register``).
 ``repro.trace.batch``
     A ``multiprocessing`` batch driver that records and replays many
     workloads / analyses concurrently with deterministic result order.
@@ -37,7 +37,7 @@ from repro.trace.reader import TraceReader
 from repro.trace.replay import (CONSUMERS, DependenceConsumer,
                                 HotAddressConsumer, LocalityConsumer,
                                 ReplayEngine, TraceConsumer, make_consumers,
-                                replay_trace)
+                                replay_trace, replay_with)
 from repro.trace.writer import TraceWriter, record_program, record_source
 
 __all__ = [
@@ -58,4 +58,5 @@ __all__ = [
     "CONSUMERS",
     "make_consumers",
     "replay_trace",
+    "replay_with",
 ]

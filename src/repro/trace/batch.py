@@ -22,7 +22,7 @@ import time as _time
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.core.profile_data import DepKind
+from repro.analyses import profile_summary  # noqa: F401  (re-export)
 from repro.trace.replay import replay_trace
 from repro.trace.writer import record_source
 
@@ -44,6 +44,11 @@ class BatchJob:
     workload: str = ""
     scale: float = 1.0
     analyses: tuple[str, ...] = DEFAULT_ANALYSES
+    #: Modules imported in the worker before resolving ``analyses`` —
+    #: how user plugins reach the registry of a freshly *spawned*
+    #: process (fork-start platforms inherit the parent registry, spawn
+    #: platforms re-import only the builtins).
+    plugin_modules: tuple[str, ...] = ()
 
 
 @dataclass
@@ -57,64 +62,16 @@ class BatchResult:
     error: str = ""
 
 
-def profile_summary(report) -> dict[str, Any]:
-    """Compact, picklable, order-stable digest of a ProfileReport.
-
-    Captures exactly what the replay-equivalence criterion cares about:
-    per-construct durations/instances and per-edge (min Tdep, count,
-    variable hint), keyed deterministically.
-    """
-    constructs = {}
-    for pc in sorted(report.store.profiles):
-        profile = report.store.profiles[pc]
-        edges = {}
-        for (head, tail, kind), stats in sorted(
-                profile.edges.items(),
-                key=lambda item: (item[0][0], item[0][1], item[0][2].value)):
-            edges[f"{head}->{tail}:{kind.value}"] = [
-                stats.min_tdep, stats.count, stats.var_hint]
-        constructs[str(pc)] = {
-            "name": profile.static.name,
-            "total_duration": profile.total_duration,
-            "instances": profile.instances,
-            "max_duration": profile.max_duration,
-            "edges": edges,
-        }
-    return {
-        "constructs": constructs,
-        "instructions": report.stats.instructions,
-        "dynamic_instances": report.stats.dynamic_instances,
-        "violating_raw": sum(
-            p.violating_count(DepKind.RAW)
-            for p in report.store.profiles.values()),
-        "exit_value": report.exit_value,
-    }
-
-
-def _summarize(name: str, outcome: Any) -> Any:
-    """Convert one analysis result into a picklable payload."""
-    if name == "dep":
-        return profile_summary(outcome)
-    if name == "locality":
-        return {
-            "accesses": outcome.accesses,
-            "distinct_addresses": outcome.distinct_addresses,
-            "cold_misses": outcome.cold_misses,
-            "histogram": {str(k): v
-                          for k, v in sorted(outcome.histogram.items())},
-        }
-    if name == "hot":
-        return [{"addr": row.addr, "name": row.name,
-                 "reads": row.reads, "writes": row.writes}
-                for row in outcome]
-    return outcome
-
-
 def run_job(job: BatchJob) -> BatchResult:
     """Execute one job (also the worker entry point — must stay
     importable at module top level for pickling)."""
     start = _time.perf_counter()
     try:
+        if job.plugin_modules:
+            import importlib
+
+            for module in job.plugin_modules:
+                importlib.import_module(module)
         if job.kind == "record":
             from repro.workloads import get
 
@@ -129,9 +86,16 @@ def run_job(job: BatchJob) -> BatchResult:
                 "exit_value": result.exit_value,
             }
         elif job.kind == "replay":
+            # Analyses resolve through the shared registry; every
+            # AnalysisResult.data is JSON-able, hence picklable. Legacy
+            # result()-protocol consumers may produce no data dict —
+            # fall back to their raw payload (pre-registry behaviour).
             outcome = replay_trace(job.trace_path, job.analyses)
-            payload = {name: _summarize(name, outcome.results[name])
-                       for name in outcome.results}
+            payload = {
+                name: (report.data if report.data
+                       or report.payload is None else report.payload)
+                for name, report in outcome.reports.items()
+            }
         else:
             raise ValueError(f"unknown batch job kind {job.kind!r}")
     except Exception as exc:  # worker errors travel as data, not crashes
@@ -206,11 +170,14 @@ class BatchReport:
 def record_replay_many(workload_names: list[str], out_dir: str,
                        analyses: tuple[str, ...] = DEFAULT_ANALYSES,
                        workers: int | None = None,
-                       scale: float = 1.0) -> BatchReport:
+                       scale: float = 1.0,
+                       plugin_modules: tuple[str, ...] = ()) -> BatchReport:
     """Record every workload, then replay every trace, both in parallel.
 
     The two phases are separated by a barrier (a replay needs its trace
-    on disk); within each phase jobs run concurrently.
+    on disk); within each phase jobs run concurrently. Pass the modules
+    that ``@register`` your custom analyses via ``plugin_modules`` so
+    spawned workers can resolve them too.
     """
     os.makedirs(out_dir, exist_ok=True)
     start = _time.perf_counter()
@@ -222,7 +189,8 @@ def record_replay_many(workload_names: list[str], out_dir: str,
     records = run_batch(record_jobs, workers)
     replay_jobs = [
         BatchJob(kind="replay", name=job.name, trace_path=job.trace_path,
-                 analyses=tuple(analyses))
+                 analyses=tuple(analyses),
+                 plugin_modules=tuple(plugin_modules))
         for job, result in zip(record_jobs, records) if result.ok
     ]
     replays = run_batch(replay_jobs, workers)

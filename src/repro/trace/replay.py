@@ -1,4 +1,4 @@
-"""Replay: drive pluggable analyses over a recorded trace.
+"""Replay: drive registered analyses over a recorded trace.
 
 The engine re-derives everything an analysis needs *without* running
 the interpreter again:
@@ -11,385 +11,137 @@ the interpreter again:
   (``fn.local``, ``heap#3[7]``, ``retval(f)``) resolve at replay time
   exactly as they did live — frame pushes, pops and heap recycling are
   deterministic given the same event sequence;
-* events are then dispatched to every registered consumer in recorded
+* events are then dispatched to every requested analysis in recorded
   order, so one pass over the trace feeds N analyses.
 
-Consumers are ordinary :class:`~repro.runtime.tracing.Tracer` subclasses
-(plus a ``result()`` method), which means every consumer can also be
-attached to a live interpreter run unchanged — the bench harness uses
-exactly that symmetry for its replay-vs-rerun comparison.
+Analyses are :class:`repro.analyses.Analysis` plugins resolved through
+the shared registry — the same objects that attach to a live
+interpreter run and that the batch driver spawns, which is exactly the
+symmetry the bench harness uses for its replay-vs-rerun comparison.
+
+Deprecated aliases (``TraceConsumer``, ``DependenceConsumer``,
+``LocalityConsumer``, ``HotAddressConsumer``, ``CountingConsumer``,
+``CONSUMERS``, ``make_consumers``) are kept so pre-registry callers
+continue to work; new code should import from :mod:`repro.analyses`.
 """
 
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass, field
+from collections.abc import MutableMapping
+from dataclasses import dataclass
 from typing import Any, Iterable
 
-from repro.analysis.constructs import ConstructTable
-from repro.core.profile_data import DepKind
-from repro.core.report import ProfileReport, RunStats
-from repro.core.tracer import AlchemistTracer
+from repro.analyses import (Analysis, AnalysisContext, AnalysisError,
+                            AnalysisResult, get_analysis, live_hooks,
+                            make_analyses, register, registry, unregister)
+from repro.analyses.builtin import (ContextDependenceAnalysis,
+                                    CountingAnalysis, DependenceAnalysis,
+                                    FlatDependenceAnalysis, HotAddress,
+                                    HotAddressAnalysis, LocalityAnalysis,
+                                    LocalityResult)
 from repro.ir.cfg import ProgramIR
 from repro.ir.lowering import compile_source
 from repro.runtime.memory import Memory
-from repro.runtime.tracing import Tracer
 from repro.trace.events import (EV_ALLOC, EV_BLOCK, EV_BRANCH, EV_ENTER,
                                 EV_EXIT, EV_FINISH, EV_FREE, EV_READ,
-                                EV_WRITE, TraceError, TraceFooter,
-                                source_digest)
+                                EV_WRITE, TraceError, source_digest)
 from repro.trace.reader import TraceReader
 
+# -- deprecated pre-registry names (thin shims) -----------------------------
 
-@dataclass
-class ReplayContext:
-    """What the engine hands to ``result()`` after the last event."""
+#: Deprecated alias: a "trace consumer" is now any registered Analysis.
+TraceConsumer = Analysis
+#: Deprecated alias for :class:`repro.analyses.AnalysisContext`.
+ReplayContext = AnalysisContext
+DependenceConsumer = DependenceAnalysis
+LocalityConsumer = LocalityAnalysis
+HotAddressConsumer = HotAddressAnalysis
+CountingConsumer = CountingAnalysis
+FlatConsumer = FlatDependenceAnalysis
+ContextConsumer = ContextDependenceAnalysis
 
-    program: ProgramIR
-    memory: Memory
-    footer: TraceFooter | None
-    final_time: int
-    events: int
-    wall_seconds: float
+class _ConsumerRegistry(MutableMapping):
+    """Deprecated writable view of the shared analysis registry.
 
-
-class TraceConsumer(Tracer):
-    """A replayable analysis: tracer hooks plus a named result.
-
-    ``on_start`` receives the (re)compiled program and a memory whose
-    layout evolves with the event stream; hooks then fire in recorded
-    order. ``result`` turns the accumulated state into the analysis
-    output once the stream is exhausted.
+    Pre-registry code registered plugins with ``CONSUMERS[name] = cls``
+    (plain dict semantics, overwrite allowed); this shim forwards those
+    writes to :func:`repro.analyses.register` so both worlds stay in
+    sync. New code should use the ``@register`` decorator.
     """
 
-    #: Registry key and result-dict key.
-    name = "consumer"
-
-    def result(self, ctx: ReplayContext) -> Any:
-        raise NotImplementedError
-
-    def describe(self, outcome: Any) -> str:
-        """Human-readable rendering for the CLI."""
-        return repr(outcome)
-
-
-class DependenceConsumer(TraceConsumer):
-    """The Alchemist dependence profiler, ported to replay.
-
-    Wraps the unmodified live :class:`AlchemistTracer`, so a replayed
-    profile is *identical* — per-construct edges, min-Tdep distances,
-    durations, instance counts — to a live instrumented run of the same
-    program (the equivalence tests assert this workload by workload).
-    """
-
-    name = "dep"
-
-    def __init__(self, pool_size: int = 4096, track_war_waw: bool = True):
-        self.pool_size = pool_size
-        self.track_war_waw = track_war_waw
-        self.table: ConstructTable | None = None
-        self.tracer: AlchemistTracer | None = None
-
-    def on_start(self, program: ProgramIR, memory: Memory) -> None:
-        self.table = ConstructTable(program)
-        tracer = AlchemistTracer(self.table, self.pool_size,
-                                 self.track_war_waw)
-        tracer.on_start(program, memory)
-        self.tracer = tracer
-        # Rebind the hot hooks straight to the inner tracer: the engine
-        # looks methods up after on_start, so dispatch skips this shim.
-        self.on_enter_function = tracer.on_enter_function
-        self.on_exit_function = tracer.on_exit_function
-        self.on_block_enter = tracer.on_block_enter
-        self.on_branch = tracer.on_branch
-        self.on_read = tracer.on_read
-        self.on_write = tracer.on_write
-        self.on_frame_free = tracer.on_frame_free
-        self.on_finish = tracer.on_finish
-
-    def result(self, ctx: ReplayContext) -> ProfileReport:
-        tracer = self.tracer
-        stats = RunStats(
-            wall_seconds=ctx.wall_seconds,
-            baseline_seconds=None,
-            instructions=ctx.final_time,
-            dynamic_instances=tracer.store.dynamic_instances,
-            static_constructs=self.table.static_count(),
-            max_index_depth=tracer.stack.max_depth,
-            raw_events=tracer.raw_events,
-            war_events=tracer.war_events,
-            waw_events=tracer.waw_events,
-            edges_profiled=tracer.profiler.edges_profiled,
-            pool=tracer.pool.stats,
-        )
-        footer = ctx.footer
-        exit_value = footer.exit_value if footer is not None else 0
-        output = ([tuple(v) for v in footer.output]
-                  if footer is not None else [])
-        return ProfileReport(ctx.program, self.table, tracer.store, stats,
-                             exit_value, output)
-
-    def describe(self, outcome: ProfileReport) -> str:
-        # Same presentation as the `profile` verb: all three kinds.
-        kinds = ((DepKind.RAW, DepKind.WAW, DepKind.WAR)
-                 if self.track_war_waw else (DepKind.RAW,))
-        return outcome.to_text(kinds=kinds)
-
-
-@dataclass
-class LocalityResult:
-    """Reuse-distance summary of one trace."""
-
-    accesses: int = 0
-    distinct_addresses: int = 0
-    cold_misses: int = 0
-    #: log2 bucket -> access count; bucket k holds distances in
-    #: [2^(k-1), 2^k), bucket 0 holds distance 0 (back-to-back reuse).
-    histogram: dict[int, int] = field(default_factory=dict)
-
-    def hit_fraction(self, capacity: int) -> float:
-        """Fraction of reuses that fit a ``capacity``-word LRU cache."""
-        reuses = self.accesses - self.cold_misses
-        if reuses <= 0:
-            return 0.0
-        hits = sum(count for bucket, count in self.histogram.items()
-                   if (1 << bucket) <= capacity)
-        return hits / reuses
-
-
-class LocalityConsumer(TraceConsumer):
-    """Exact LRU reuse-distance histogram (a PROMPT-style analysis).
-
-    For every memory access, the reuse distance is the number of
-    *distinct* addresses touched since the previous access to the same
-    address — i.e. the minimal LRU cache size (in words) that would hit.
-    Computed exactly with a Fenwick tree over access sequence numbers
-    (O(log n) per access). Distances are bucketed by powers of two.
-
-    Addresses are physical interpreter words; stack reuse across frames
-    therefore counts as reuse of the same word, which is exactly the
-    cache behaviour a hardware-level locality profile would see.
-    """
-
-    name = "locality"
-
-    def __init__(self) -> None:
-        self._seq = 0
-        self._last: dict[int, int] = {}
-        self._tree: list[int] = [0]
-        self._live = 0
-        self.stats = LocalityResult()
-
-    def _access(self, addr: int, pc: int = 0, timestamp: int = 0) -> None:
-        stats = self.stats
-        stats.accesses += 1
-        seq = self._seq + 1
-        self._seq = seq
-        tree = self._tree
-        # Fenwick append: node ``seq`` covers ``(seq - lowbit, seq]``, so
-        # its initial value is the live count over that range (the new
-        # position itself contributes 1 — it is now `addr`'s last
-        # access).
-        before = self._prefix(seq - 1)
-        tree.append(1 + before - self._prefix(seq - (seq & -seq)))
-        last = self._last.get(addr)
-        self._last[addr] = seq
-        self._live += 1
-        if last is None:
-            stats.cold_misses += 1
-            return
-        # distance = live addresses whose last access falls strictly
-        # between `last` and `seq` = prefix(seq - 1) - prefix(last).
-        distance = before - self._prefix(last)
-        bucket = distance.bit_length()  # 0 -> 0, [2^(k-1), 2^k) -> k
-        stats.histogram[bucket] = stats.histogram.get(bucket, 0) + 1
-        # The superseded position stops representing a live address.
-        i = last
-        size = seq
-        while i <= size:
-            tree[i] -= 1
-            i += i & (-i)
-        self._live -= 1
-
-    # Both reads and writes are accesses (pc/timestamp unused).
-    on_read = _access
-    on_write = _access
-
-    def _prefix(self, i: int) -> int:
-        tree = self._tree
-        total = 0
-        while i > 0:
-            total += tree[i]
-            i -= i & (-i)
-        return total
-
-    def result(self, ctx: ReplayContext) -> LocalityResult:
-        self.stats.distinct_addresses = len(self._last)
-        return self.stats
-
-    def describe(self, outcome: LocalityResult) -> str:
-        lines = [
-            "Reuse-distance profile:",
-            f"  accesses           {outcome.accesses}",
-            f"  distinct addresses {outcome.distinct_addresses}",
-            f"  cold misses        {outcome.cold_misses}",
-        ]
-        for capacity in (64, 1024, 16384):
-            lines.append(f"  LRU({capacity:>5}) hit rate "
-                         f"{outcome.hit_fraction(capacity):6.1%}")
-        lines.append("  distance histogram (log2 buckets):")
-        for bucket in sorted(outcome.histogram):
-            lo = 0 if bucket == 0 else 1 << (bucket - 1)
-            lines.append(f"    >= {lo:>8}: {outcome.histogram[bucket]}")
-        return "\n".join(lines)
-
-
-@dataclass
-class HotAddress:
-    """One row of the hot-address histogram."""
-
-    addr: int
-    name: str
-    reads: int
-    writes: int
-
-    @property
-    def total(self) -> int:
-        return self.reads + self.writes
-
-
-class HotAddressConsumer(TraceConsumer):
-    """Access-count histogram over addresses (contention spotting).
-
-    Names are resolved best-effort from the reconstructed memory at the
-    *end* of the stream: globals and live heap blocks name exactly;
-    long-dead stack frames fall back to ``stack+addr``.
-    """
-
-    name = "hot"
-
-    def __init__(self, top: int = 20):
-        self.top = top
-        self._reads: dict[int, int] = {}
-        self._writes: dict[int, int] = {}
-
-    def on_read(self, addr: int, pc: int, timestamp: int) -> None:
-        reads = self._reads
-        reads[addr] = reads.get(addr, 0) + 1
-
-    def on_write(self, addr: int, pc: int, timestamp: int) -> None:
-        writes = self._writes
-        writes[addr] = writes.get(addr, 0) + 1
-
-    def result(self, ctx: ReplayContext) -> list[HotAddress]:
-        totals: dict[int, int] = dict(self._reads)
-        for addr, count in self._writes.items():
-            totals[addr] = totals.get(addr, 0) + count
-        ranked = sorted(totals, key=lambda a: (-totals[a], a))[:self.top]
-        return [HotAddress(addr=addr,
-                           name=ctx.memory.addr_to_name(addr),
-                           reads=self._reads.get(addr, 0),
-                           writes=self._writes.get(addr, 0))
-                for addr in ranked]
-
-    def describe(self, outcome: list[HotAddress]) -> str:
-        lines = ["Hottest addresses (reads+writes):"]
-        for row in outcome:
-            lines.append(f"  {row.total:>10}  {row.name:<28} "
-                         f"(r={row.reads}, w={row.writes}, "
-                         f"addr={row.addr})")
-        return "\n".join(lines)
-
-
-class CountingConsumer(TraceConsumer):
-    """Event counts; the replay twin of ``CountingTracer``."""
-
-    name = "counts"
-
-    def __init__(self) -> None:
-        self.counts = {"reads": 0, "writes": 0, "calls": 0,
-                       "branches": 0, "blocks": 0, "allocs": 0,
-                       "frees": 0}
-
-    def on_enter_function(self, fn_name, entry_pc, timestamp) -> None:
-        self.counts["calls"] += 1
-
-    def on_block_enter(self, block_id, timestamp) -> None:
-        self.counts["blocks"] += 1
-
-    def on_branch(self, pc, target_block, timestamp) -> None:
-        self.counts["branches"] += 1
-
-    def on_read(self, addr, pc, timestamp) -> None:
-        self.counts["reads"] += 1
-
-    def on_write(self, addr, pc, timestamp) -> None:
-        self.counts["writes"] += 1
-
-    def on_heap_alloc(self, base, size, timestamp) -> None:
-        self.counts["allocs"] += 1
-
-    def on_frame_free(self, lo, hi) -> None:
-        self.counts["frees"] += 1
-
-    def result(self, ctx: ReplayContext) -> dict[str, int]:
-        return dict(self.counts)
-
-    def describe(self, outcome: dict[str, int]) -> str:
-        return "Event counts: " + ", ".join(
-            f"{k}={v}" for k, v in sorted(outcome.items()))
-
-
-#: Analysis registry for the CLI / batch driver.
-CONSUMERS: dict[str, type[TraceConsumer]] = {
-    DependenceConsumer.name: DependenceConsumer,
-    LocalityConsumer.name: LocalityConsumer,
-    HotAddressConsumer.name: HotAddressConsumer,
-    CountingConsumer.name: CountingConsumer,
-}
-
-
-def make_consumers(analyses: Iterable[str] | str) -> list[TraceConsumer]:
-    """Instantiate consumers from names (``"dep,locality"`` or a list)."""
-    if isinstance(analyses, str):
-        analyses = [name.strip() for name in analyses.split(",")
-                    if name.strip()]
-    consumers = []
-    for name in analyses:
+    def __getitem__(self, name: str) -> type[Analysis]:
         try:
-            consumers.append(CONSUMERS[name]())
-        except KeyError:
-            known = ", ".join(sorted(CONSUMERS))
-            raise TraceError(f"unknown analysis {name!r} "
-                             f"(known: {known})") from None
-    if not consumers:
-        raise TraceError("no analyses requested")
-    return consumers
+            return get_analysis(name)
+        except AnalysisError:
+            raise KeyError(name) from None
+
+    def __setitem__(self, name: str, cls: type[Analysis]) -> None:
+        # Validate before touching the registry: a bad assignment must
+        # not evict whatever `name` currently maps to.
+        if not (isinstance(cls, type) and issubclass(cls, Analysis)):
+            raise AnalysisError(
+                f"CONSUMERS[{name!r}] expects an Analysis subclass, "
+                f"got {cls!r}")
+        if not getattr(cls, "name", ""):
+            cls.name = name
+        if cls.name != name:
+            raise AnalysisError(
+                f"cannot register {cls.__qualname__} as {name!r}: its "
+                f"name is {cls.name!r}")
+        previous = registry().get(name)
+        unregister(name)  # dict semantics: assignment overwrites
+        try:
+            register(cls)
+        except AnalysisError:
+            if previous is not None:
+                register(previous)
+            raise
+
+    def __delitem__(self, name: str) -> None:
+        if name not in registry():
+            raise KeyError(name)
+        unregister(name)
+
+    def __iter__(self):
+        return iter(registry())
+
+    def __len__(self) -> int:
+        return len(registry())
 
 
-def _hooks(consumers: list[TraceConsumer], name: str) -> list:
-    """Bound hooks for ``name``, skipping base-class no-ops.
+#: Deprecated: a live writable view of the shared analysis registry
+#: (new plugins registered via ``@register`` appear here automatically,
+#: and ``CONSUMERS[name] = cls`` still registers like the old dict did).
+CONSUMERS = _ConsumerRegistry()
 
-    A consumer that never overrides ``on_block_enter`` (say) should cost
-    nothing on block events; comparing each bound method's underlying
-    function against :class:`Tracer`'s keeps it out of the hot loop.
-    """
-    base = getattr(Tracer, name)
-    hooks = []
-    for consumer in consumers:
-        hook = getattr(consumer, name)
-        if getattr(hook, "__func__", None) is not base:
-            hooks.append(hook)
-    return hooks
+
+def make_consumers(analyses: Iterable[str] | str) -> list[Analysis]:
+    """Deprecated alias for :func:`repro.analyses.make_analyses`;
+    raises :class:`TraceError` for unknown names (pre-registry
+    behaviour)."""
+    try:
+        return make_analyses(analyses)
+    except AnalysisError as exc:
+        raise TraceError(str(exc)) from None
+
+
+#: Hooks the engine dispatches from trace events. Must cover every
+#: Tracer event hook (``repro.runtime.tracing.TRACER_HOOKS``) — a hook
+#: added to Tracer without a trace event is a live/replay divergence;
+#: the hook-coverage test asserts the two sets stay equal.
+DISPATCHED_HOOKS = ("on_enter_function", "on_exit_function",
+                    "on_block_enter", "on_branch", "on_read", "on_write",
+                    "on_heap_alloc", "on_frame_free", "on_finish")
 
 
 class ReplayEngine:
-    """Streams a trace once through any number of consumers.
+    """Streams a trace once through any number of analyses.
 
     The engine mirrors the interpreter's event discipline exactly:
     frames are pushed before ``on_enter_function`` fires and popped
     after ``on_exit_function`` (matching ``Interpreter.run``), and heap
-    blocks are allocated/freed at their events, so every consumer
+    blocks are allocated/freed at their events, so every analysis
     observes memory state identical to a live run.
     """
 
@@ -409,9 +161,9 @@ class ReplayEngine:
         self.program = program
         self.check_allocs = check_allocs
 
-    def run(self, consumers: list[TraceConsumer]) -> ReplayContext:
-        """Dispatch every event; returns the context (results are pulled
-        from each consumer by :func:`replay_trace`)."""
+    def run(self, consumers: list[Analysis]) -> AnalysisContext:
+        """Dispatch every event; returns the context each analysis's
+        ``finish`` receives."""
         reader = self.reader
         header = reader.header
         program = self.program
@@ -428,17 +180,17 @@ class ReplayEngine:
         start = _time.perf_counter()
         for consumer in consumers:
             consumer.on_start(program, memory)
-        # Bind hook lists after on_start (consumers may rebind hooks
+        # Bind hook lists after on_start (analyses may rebind hooks
         # there), dropping inherited no-op hooks from the dispatch.
-        on_enter = _hooks(consumers, "on_enter_function")
-        on_exit = _hooks(consumers, "on_exit_function")
-        on_block = _hooks(consumers, "on_block_enter")
-        on_branch = _hooks(consumers, "on_branch")
-        on_read = _hooks(consumers, "on_read")
-        on_write = _hooks(consumers, "on_write")
-        on_alloc = _hooks(consumers, "on_heap_alloc")
-        on_free = _hooks(consumers, "on_frame_free")
-        on_finish = _hooks(consumers, "on_finish")
+        on_enter = live_hooks(consumers, "on_enter_function")
+        on_exit = live_hooks(consumers, "on_exit_function")
+        on_block = live_hooks(consumers, "on_block_enter")
+        on_branch = live_hooks(consumers, "on_branch")
+        on_read = live_hooks(consumers, "on_read")
+        on_write = live_hooks(consumers, "on_write")
+        on_alloc = live_hooks(consumers, "on_heap_alloc")
+        on_free = live_hooks(consumers, "on_frame_free")
+        on_finish = live_hooks(consumers, "on_finish")
 
         push_frame = memory.push_frame
         pop_frame = memory.pop_frame
@@ -496,33 +248,59 @@ class ReplayEngine:
                 raise TraceError(f"unknown event type {etype}")
         wall = _time.perf_counter() - start
         footer = reader.footer
-        return ReplayContext(program=program, memory=memory,
-                             footer=footer, final_time=final_time,
-                             events=footer.events if footer else 0,
-                             wall_seconds=wall)
+        return AnalysisContext(
+            program=program,
+            memory=memory,
+            final_time=final_time,
+            exit_value=footer.exit_value if footer is not None else 0,
+            output=([tuple(v) for v in footer.output]
+                    if footer is not None else []),
+            events=footer.events if footer is not None else 0,
+            wall_seconds=wall,
+            mode="replay",
+        )
 
 
 @dataclass
 class ReplayOutcome:
-    """All results of one replay pass."""
+    """All results of one replay pass.
 
-    results: dict[str, Any]
-    context: ReplayContext
-    consumers: list[TraceConsumer]
+    ``reports`` holds the structured :class:`AnalysisResult` per
+    analysis; ``results`` keeps the pre-registry raw-payload shape
+    (``ProfileReport`` for ``dep``, ``LocalityResult`` for
+    ``locality``, ...) for existing callers.
+    """
+
+    reports: dict[str, AnalysisResult]
+    context: AnalysisContext
+    consumers: list[Analysis]
+
+    @property
+    def results(self) -> dict[str, Any]:
+        return {name: report.payload if report.payload is not None
+                else report.data
+                for name, report in self.reports.items()}
 
     def describe(self) -> str:
-        parts = []
-        for consumer in self.consumers:
-            parts.append(consumer.describe(self.results[consumer.name]))
-        return "\n\n".join(parts)
+        return "\n\n".join(report.text for report in self.reports.values())
 
 
 def replay_trace(path: str, analyses: Iterable[str] | str = ("dep",),
                  program: ProgramIR | None = None) -> ReplayOutcome:
     """Replay ``path`` through the named analyses in one pass."""
     consumers = make_consumers(analyses)
+    return replay_with(path, consumers, program)
+
+
+def replay_with(path: str, consumers: list[Analysis],
+                program: ProgramIR | None = None) -> ReplayOutcome:
+    """Replay ``path`` through already-instantiated analyses."""
     with TraceReader(path) as reader:
         engine = ReplayEngine(reader, program)
         ctx = engine.run(consumers)
-    results = {c.name: c.result(ctx) for c in consumers}
-    return ReplayOutcome(results=results, context=ctx, consumers=consumers)
+    reports = {}
+    for consumer in consumers:
+        report = consumer.finish(ctx)
+        consumer.last_result = report  # deprecated describe() surface
+        reports[consumer.name] = report
+    return ReplayOutcome(reports=reports, context=ctx, consumers=consumers)

@@ -1,3 +1,3 @@
 """Package version, kept importable without dragging in heavy modules."""
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

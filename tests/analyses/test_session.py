@@ -1,0 +1,265 @@
+"""Session facade: digest-keyed caching (record at most once), fan-out
+over one replay pass, live mode, and option plumbing."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analyses import (Analysis, AnalysisError, AnalysisResult,
+                            register, unregister)
+from repro.api import Session, analyze
+from repro.core.alchemist import Alchemist, ProfileOptions
+
+SOURCE = """
+int acc;
+int main() {
+    for (int i = 0; i < 40; i++) {
+        acc += i % 7;
+    }
+    print(acc);
+    return 0;
+}
+"""
+
+OTHER_SOURCE = SOURCE.replace("i < 40", "i < 12")
+
+
+class TestRecordOnce:
+    def test_fanout_records_exactly_once(self, tmp_path):
+        with Session(cache_dir=str(tmp_path)) as session:
+            report = session.analyze(SOURCE, ["dep", "locality", "hot"])
+            assert set(report.results) == {"dep", "locality", "hot"}
+            assert session.stats.records == 1
+            assert session.stats.live_runs == 0
+            assert session.stats.replay_passes == 1
+
+    def test_new_question_reuses_the_recording(self, tmp_path):
+        with Session(cache_dir=str(tmp_path)) as session:
+            session.analyze(SOURCE, ["dep"])
+            session.analyze(SOURCE, ["locality", "counts"])
+            assert session.stats.records == 1
+            assert session.stats.record_hits == 1
+            assert session.stats.replay_passes == 2
+
+    def test_distinct_sources_record_separately(self, tmp_path):
+        with Session(cache_dir=str(tmp_path)) as session:
+            session.analyze(SOURCE, ["dep"])
+            session.analyze(OTHER_SOURCE, ["dep"])
+            assert session.stats.records == 2
+
+    def test_compile_cached_by_digest(self, tmp_path):
+        with Session(cache_dir=str(tmp_path)) as session:
+            session.analyze(SOURCE, ["dep"])
+            session.analyze(SOURCE, ["locality"])
+            assert session.stats.compiles == 1
+            assert session.stats.compile_hits >= 1
+
+    def test_new_filename_recompiles_but_shares_the_trace(self, tmp_path):
+        with Session(cache_dir=str(tmp_path)) as session:
+            a = session.analyze(SOURCE, ["dep"], filename="a.mc")
+            b = session.analyze(SOURCE, ["dep"], filename="b.mc")
+            # One recording serves both names...
+            assert session.stats.records == 1
+        # ...but each report attributes to its own file.
+        assert a["dep"].payload.program.filename == "a.mc"
+        assert b["dep"].payload.program.filename == "b.mc"
+
+    def test_trace_files_land_in_cache_dir(self, tmp_path):
+        with Session(cache_dir=str(tmp_path)) as session:
+            report = session.analyze(SOURCE, ["dep"])
+            assert report.trace_path is not None
+            assert os.path.dirname(report.trace_path) == str(tmp_path)
+            assert os.path.exists(report.trace_path)
+
+    def test_private_tmpdir_removed_on_close(self):
+        session = Session()
+        report = session.analyze(SOURCE, ["dep"])
+        assert os.path.exists(report.trace_path)
+        session.close()
+        assert not os.path.exists(report.trace_path)
+
+
+class TestModes:
+    def test_live_mode_never_records(self, tmp_path):
+        with Session(cache_dir=str(tmp_path)) as session:
+            report = session.analyze(SOURCE, ["dep", "counts"],
+                                     mode="live")
+            assert session.stats.records == 0
+            assert session.stats.live_runs == 1
+            assert report.trace_path is None
+            assert set(report.modes.values()) == {"live"}
+
+    def test_one_live_run_feeds_every_analysis(self, tmp_path):
+        with Session(cache_dir=str(tmp_path)) as session:
+            session.analyze(SOURCE, ["dep", "locality", "hot", "counts"],
+                            mode="live")
+            assert session.stats.live_runs == 1
+
+    def test_unknown_mode_rejected(self):
+        with Session() as session:
+            with pytest.raises(AnalysisError, match="unknown mode"):
+                session.analyze(SOURCE, ["dep"], mode="psychic")
+
+    def test_requires_live_forces_execution_in_auto(self, tmp_path,
+                                                    monkeypatch):
+        from repro.runtime.interpreter import Interpreter
+
+        executions = []
+        original_run = Interpreter.run
+        monkeypatch.setattr(
+            Interpreter, "run",
+            lambda self: (executions.append(1), original_run(self))[1])
+
+        @register
+        class NeedsLive(Analysis):
+            name = "needs-live-test"
+            requires_live = True
+
+            def finish(self, ctx):
+                return AnalysisResult(self.name, {"mode": ctx.mode}, "x")
+
+        try:
+            with Session(cache_dir=str(tmp_path)) as session:
+                report = session.analyze(SOURCE,
+                                         ["needs-live-test", "counts"])
+                assert report.modes["needs-live-test"] == "live"
+                assert report.modes["counts"] == "replay"
+                assert session.stats.live_runs == 1
+                assert session.stats.records == 1
+                # Mixed cold-cache request: ONE execution both records
+                # the trace and feeds the live analysis (teed writer).
+                assert len(executions) == 1
+        finally:
+            unregister("needs-live-test")
+
+    def test_requires_live_rejected_in_replay_mode(self):
+        @register
+        class NeedsLive(Analysis):
+            name = "needs-live-test"
+            requires_live = True
+
+            def finish(self, ctx):
+                return AnalysisResult(self.name, {}, "x")
+
+        try:
+            with Session() as session:
+                with pytest.raises(AnalysisError, match="requires live"):
+                    session.analyze(SOURCE, ["needs-live-test"],
+                                    mode="replay")
+        finally:
+            unregister("needs-live-test")
+
+
+class TestReportShape:
+    def test_results_follow_request_order(self, tmp_path):
+        with Session(cache_dir=str(tmp_path)) as session:
+            report = session.analyze(SOURCE, ["hot", "dep", "counts"])
+        assert list(report.results) == ["hot", "dep", "counts"]
+
+    def test_to_dict_top_level_keys(self, tmp_path):
+        with Session(cache_dir=str(tmp_path)) as session:
+            report = session.analyze(SOURCE, ["dep", "locality"],
+                                     filename="prog.mc")
+        data = report.to_dict()
+        assert {"file", "digest", "mode", "analyses"} <= set(data)
+        assert data["file"] == "prog.mc"
+        assert set(data["analyses"]) == {"dep", "locality"}
+        assert data["analyses"]["dep"]["constructs"]
+
+    def test_getitem_and_iter(self, tmp_path):
+        with Session(cache_dir=str(tmp_path)) as session:
+            report = session.analyze(SOURCE, ["dep", "counts"])
+        assert report["counts"].data["reads"] > 0
+        assert [r.analysis for r in report] == ["dep", "counts"]
+
+    def test_to_text_labels_each_analysis(self, tmp_path):
+        with Session(cache_dir=str(tmp_path)) as session:
+            report = session.analyze(SOURCE, ["dep", "locality"])
+        text = report.to_text()
+        assert "== dep (replay) ==" in text
+        assert "== locality (replay) ==" in text
+
+
+class TestOptionPlumbing:
+    def test_session_profile_options_reach_dep(self, tmp_path):
+        options = ProfileOptions(pool_size=128, track_war_waw=False)
+        with Session(options, cache_dir=str(tmp_path)) as session:
+            report = session.analyze(SOURCE, ["dep"])
+        profile_report = report["dep"].payload
+        # RAW-only ablation: no WAR/WAW events were profiled.
+        assert profile_report.stats.war_events == 0
+        assert profile_report.stats.waw_events == 0
+
+    def test_explicit_options_override_session_defaults(self, tmp_path):
+        options = ProfileOptions(track_war_waw=False)
+        with Session(options, cache_dir=str(tmp_path)) as session:
+            report = session.analyze(
+                SOURCE, ["dep"],
+                options={"dep": {"track_war_waw": True}})
+        assert report["dep"].payload.stats.waw_events > 0
+
+    def test_hot_top_option(self, tmp_path):
+        with Session(cache_dir=str(tmp_path)) as session:
+            report = session.analyze(SOURCE, ["hot"],
+                                     options={"hot": {"top": 2}})
+        assert len(report["hot"].payload) <= 2
+
+    def test_options_for_unrequested_analysis_rejected(self):
+        with Session() as session:
+            with pytest.raises(AnalysisError, match="not requested"):
+                # Typo'd key ("hots") must not be silently dropped.
+                session.analyze(SOURCE, ["hot"],
+                                options={"hots": {"top": 5}})
+
+
+class TestAgreementWithLegacyEntryPoints:
+    def test_dep_payload_matches_alchemist_profile(self, tmp_path):
+        live = Alchemist().profile(SOURCE)
+        with Session(cache_dir=str(tmp_path)) as session:
+            replayed = session.analyze(SOURCE, ["dep"])["dep"].payload
+        assert live.exit_value == replayed.exit_value
+        assert live.stats.instructions == replayed.stats.instructions
+        live_edges = {pc: sorted((h, t, k.value) for h, t, k in p.edges)
+                      for pc, p in live.store.profiles.items()}
+        rep_edges = {pc: sorted((h, t, k.value) for h, t, k in p.edges)
+                     for pc, p in replayed.store.profiles.items()}
+        assert live_edges == rep_edges
+
+    def test_oneshot_analyze_helper(self):
+        report = analyze(SOURCE, ["counts"])
+        assert report["counts"].data["reads"] > 0
+        # The session tmpdir is gone; no dangling path is handed out.
+        assert report.trace_path is None
+
+    def test_measure_baseline_reaches_live_dep(self, tmp_path):
+        options = ProfileOptions(measure_baseline=True)
+        with Session(options, cache_dir=str(tmp_path)) as session:
+            report = session.analyze(SOURCE, ["dep"], mode="live")
+        stats = report["dep"].payload.stats
+        assert stats.baseline_seconds is not None
+        assert stats.baseline_seconds > 0
+
+    def test_counts_payload_mutation_does_not_corrupt_report(self,
+                                                             tmp_path):
+        with Session(cache_dir=str(tmp_path)) as session:
+            report = session.analyze(SOURCE, ["counts"])
+        result = report["counts"]
+        reads = result.to_dict()["reads"]
+        result.payload["reads"] = -1
+        assert result.to_dict()["reads"] == reads
+
+    def test_acceptance_bundled_workload_records_once(self, tmp_path):
+        """Acceptance criterion: dep+locality+hot over a bundled
+        workload = one recording, three reports."""
+        from repro.workloads import get
+
+        workload = get("gzip", 0.25)
+        with Session(cache_dir=str(tmp_path)) as session:
+            report = session.analyze(workload.source,
+                                     ["dep", "locality", "hot"])
+            assert session.stats.records == 1
+            assert session.stats.live_runs == 0
+        assert set(report.results) == {"dep", "locality", "hot"}
+        assert all(r.to_dict() for r in report)

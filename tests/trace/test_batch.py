@@ -34,6 +34,78 @@ class TestJobs:
         assert result.payload["locality"]["accesses"] > 0
         assert result.payload["hot"]
 
+    def test_plugin_modules_reach_the_worker_registry(self, tmp_path,
+                                                      monkeypatch):
+        """Spawn-started workers re-import only the builtins; jobs must
+        import the caller's plugin modules before resolving analyses."""
+        import textwrap
+
+        (tmp_path / "plugmod_batch_test.py").write_text(textwrap.dedent("""
+            from repro.analyses import Analysis, AnalysisResult, register
+
+            @register
+            class PlugCounts(Analysis):
+                name = "plug-counts-test"
+
+                def __init__(self):
+                    self.reads = 0
+
+                def on_read(self, addr, pc, timestamp):
+                    self.reads += 1
+
+                def finish(self, ctx):
+                    return AnalysisResult(self.name,
+                                          {"reads": self.reads}, "ok")
+        """))
+        monkeypatch.syspath_prepend(str(tmp_path))
+        trace = str(tmp_path / "gzip.trace")
+        assert run_job(BatchJob(kind="record", name="gzip",
+                                workload="gzip", scale=SCALE,
+                                trace_path=trace)).ok
+        from repro.analyses import unregister
+
+        try:
+            result = run_job(BatchJob(
+                kind="replay", name="gzip", trace_path=trace,
+                analyses=("plug-counts-test",),
+                plugin_modules=("plugmod_batch_test",)))
+            assert result.ok, result.error
+            assert result.payload["plug-counts-test"]["reads"] > 0
+        finally:
+            unregister("plug-counts-test")
+
+    def test_legacy_nondict_result_payload_preserved(self, tmp_path):
+        """Pre-registry consumers whose result() returns a non-dict
+        (like the old HotAddressConsumer's list) keep that payload."""
+        from repro.trace.replay import CONSUMERS, TraceConsumer
+
+        class LegacyList(TraceConsumer):
+            name = "legacy-list-test"
+
+            def __init__(self):
+                self.addrs = set()
+
+            def on_read(self, addr, pc, timestamp):
+                self.addrs.add(addr)
+
+            def result(self, ctx):
+                return sorted(self.addrs)[:3]
+
+        trace = str(tmp_path / "gzip.trace")
+        assert run_job(BatchJob(kind="record", name="gzip",
+                                workload="gzip", scale=SCALE,
+                                trace_path=trace)).ok
+        CONSUMERS["legacy-list-test"] = LegacyList
+        try:
+            result = run_job(BatchJob(kind="replay", name="gzip",
+                                      trace_path=trace,
+                                      analyses=("legacy-list-test",)))
+            assert result.ok, result.error
+            payload = result.payload["legacy-list-test"]
+            assert isinstance(payload, list) and len(payload) == 3
+        finally:
+            del CONSUMERS["legacy-list-test"]
+
     def test_errors_travel_as_data(self, tmp_path):
         result = run_job(BatchJob(kind="replay", name="missing",
                                   trace_path=str(tmp_path / "no.trace")))
