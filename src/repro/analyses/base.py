@@ -154,6 +154,12 @@ class AnalysisContext:
     events: int | None = None
     wall_seconds: float = 0.0
     mode: str = "live"
+    #: Sampling spec of the trace the events came from, or ``None`` for
+    #: a full-fidelity stream (always ``None`` live — the interpreter
+    #: emits everything; a sampling gate sits in front of individual
+    #: tracers, not the run). Analyses use this to label their results
+    #: as approximate.
+    sampling: str | None = None
 
     @property
     def footer(self) -> _FooterView:

@@ -124,16 +124,30 @@ class DependenceAnalysis(Analysis):
             waw_events=tracer.waw_events,
             edges_profiled=tracer.profiler.edges_profiled,
             pool=tracer.pool.stats,
+            sampling=ctx.sampling,
         )
         report = ProfileReport(ctx.program, self.table, tracer.store,
                                stats, ctx.exit_value,
                                [tuple(v) for v in ctx.output])
         kinds = ((DepKind.RAW, DepKind.WAW, DepKind.WAR)
                  if self.track_war_waw else (DepKind.RAW,))
+        data = profile_summary(report)
+        text = report.to_text(kinds=kinds)
+        if ctx.sampling:
+            # A sampled stream distorts the profile in both directions:
+            # dropped events hide dependences (violation counts
+            # under-approximated), and a dropped WRITE re-pairs later
+            # reads with a stale writer (spurious edges, shifted
+            # distances).
+            data["sampled"] = ctx.sampling
+            text += (f"\nNOTE: profiled from a sampled trace "
+                     f"({ctx.sampling}); dependences may be missed or "
+                     "mis-paired and min distances shifted — treat as "
+                     "lower-confidence hints, not proof.")
         return AnalysisResult(
             analysis=self.name,
-            data=profile_summary(report),
-            text=report.to_text(kinds=kinds),
+            data=data,
+            text=text,
             payload=report,
         )
 
@@ -301,10 +315,16 @@ class HotAddressAnalysis(Analysis):
         writes = self._writes
         writes[addr] = writes.get(addr, 0) + 1
 
-    def finish(self, ctx: AnalysisContext) -> AnalysisResult:
+    def address_totals(self) -> dict[int, int]:
+        """Full read+write count per address (not just the top rows);
+        the sampling accuracy module compares these across traces."""
         totals: dict[int, int] = dict(self._reads)
         for addr, count in self._writes.items():
             totals[addr] = totals.get(addr, 0) + count
+        return totals
+
+    def finish(self, ctx: AnalysisContext) -> AnalysisResult:
+        totals = self.address_totals()
         ranked = sorted(totals, key=lambda a: (-totals[a], a))[:self.top]
         rows = [HotAddress(addr=addr,
                            name=ctx.memory.addr_to_name(addr),

@@ -109,10 +109,12 @@ class Session:
         self.stats = SessionStats()
         # Programs are keyed by (digest, filename): same content under a
         # new name recompiles so reports attribute to the right file.
-        # Traces are keyed by digest alone — the event stream does not
-        # depend on the filename, so one recording serves every alias.
+        # Traces are keyed by (digest, sampling spec, format version) —
+        # the event stream does not depend on the filename, so one
+        # recording serves every alias, but a sampled recording answers
+        # different questions than a full one and must never shadow it.
         self._programs: dict[tuple[str, str], ProgramIR] = {}
-        self._traces: dict[str, str] = {}
+        self._traces: dict[tuple[str, str, int], str] = {}
         self._tmpdir: tempfile.TemporaryDirectory | None = None
         self._cache_dir = os.fspath(cache_dir) if cache_dir else None
 
@@ -155,26 +157,44 @@ class Session:
         self.stats.compiles += 1
         return program
 
+    def _trace_key(self, digest: str) -> tuple[str, str, int]:
+        """Cache key of a recording under the session's options: one
+        slot per (program, sampling policy, trace format)."""
+        return (digest, self.options.sample or "full",
+                self.options.trace_format)
+
     def record(self, source: str, filename: str = "<input>") -> str:
         """Record one execution into the trace cache; returns the path.
 
-        Repeated calls for the same source (any filename) return the
-        cached trace without re-running the program.
+        Repeated calls for the same source (any filename) under the
+        same sampling/format configuration return the cached trace
+        without re-running the program; changing ``options.sample`` or
+        ``options.trace_format`` records a distinct trace.
         """
         from repro.trace.writer import record_program
 
         digest = source_digest(source)
-        cached = self._traces.get(digest)
+        key = self._trace_key(digest)
+        cached = self._traces.get(key)
         if cached is not None:
             self.stats.record_hits += 1
             return cached
         program = self.compile(source, filename)
-        path = os.path.join(self._trace_dir(), f"{digest[:16]}.trace")
+        path = os.path.join(self._trace_dir(), self._trace_name(key))
         record_program(program, path, source=source, filename=filename,
-                       max_steps=self.options.max_steps)
-        self._traces[digest] = path
+                       max_steps=self.options.max_steps,
+                       version=self.options.trace_format,
+                       sampling=self.options.sample)
+        self._traces[key] = path
         self.stats.records += 1
         return path
+
+    @staticmethod
+    def _trace_name(key: tuple[str, str, int]) -> str:
+        digest, spec, version = key
+        safe_spec = spec.replace(":", "-").replace("/", "-") \
+                        .replace("@", "-")
+        return f"{digest[:16]}-{safe_spec}-v{version}.trace"
 
     # -- the one entry point ------------------------------------------------
 
@@ -232,7 +252,8 @@ class Session:
             from repro.trace.replay import replay_with
 
             program = self.compile(source, filename)
-            if live and source_digest(source) not in self._traces:
+            if live and self._trace_key(source_digest(source)) \
+                    not in self._traces:
                 # Mixed request on a cold cache: one execution both
                 # records the trace and feeds the live analyses (the
                 # writer is just another tracer on the tee).
@@ -314,14 +335,27 @@ class Session:
     def _record_and_run_live(self, source: str, filename: str,
                              analyses: list[Analysis]
                              ) -> tuple[str, AnalysisContext]:
-        """Record the trace and feed the live analyses in ONE run."""
+        """Record the trace and feed the live analyses in ONE run.
+
+        The sampling gate wraps only the writer: live analyses on the
+        same tee observe the complete event stream regardless of what
+        the recording keeps.
+        """
+        from repro.sampling.policies import as_policy
+        from repro.sampling.tracer import SampledTracer
         from repro.trace.writer import TraceWriter
 
-        digest = source_digest(source)
-        path = os.path.join(self._trace_dir(), f"{digest[:16]}.trace")
-        writer = TraceWriter(path, source, filename)
-        ctx = self._run_live(source, filename, analyses, recorder=writer)
-        self._traces[digest] = path
+        key = self._trace_key(source_digest(source))
+        path = os.path.join(self._trace_dir(), self._trace_name(key))
+        policy = as_policy(self.options.sample)
+        writer = TraceWriter(path, source, filename,
+                             version=self.options.trace_format,
+                             sampling=policy.spec)
+        recorder = (writer if policy.is_full
+                    else SampledTracer(policy, writer))
+        ctx = self._run_live(source, filename, analyses,
+                             recorder=recorder)
+        self._traces[key] = path
         self.stats.records += 1
         return path, ctx
 

@@ -12,16 +12,23 @@ Fig. 6(a-d)       :func:`repro.bench.harness.fig6_data`
 
 ``benchmarks/`` wraps these in pytest-benchmark targets; the text
 renderers live in :mod:`repro.bench.tables` and
-:mod:`repro.bench.figures`.
+:mod:`repro.bench.figures`. Beyond the paper, two artifact benches
+measure this reproduction's own subsystems:
+:func:`repro.bench.harness.trace_bench` (BENCH_trace.json,
+replay-vs-rerun) and :func:`repro.bench.sampling.sampling_bench`
+(BENCH_sampling.json, trace size/speed vs accuracy).
 """
 
 from repro.bench.harness import (fig6_data, gzip_profile_listing,
                                  profile_workload, table3_rows, table4_rows,
-                                 table5_rows)
+                                 table5_rows, trace_bench)
+from repro.bench.sampling import sampling_bench
 from repro.bench.tables import (render_table3, render_table4, render_table5)
 from repro.bench.figures import render_fig6, render_profile_listing
 
 __all__ = [
+    "trace_bench",
+    "sampling_bench",
     "profile_workload",
     "table3_rows",
     "table4_rows",

@@ -293,22 +293,29 @@ class TraceBenchRow:
 
 def trace_bench_rows(names: list[str] | None = None, scale: float = 0.5,
                      analyses: tuple[str, ...] = ("dep", "locality", "hot"),
-                     repeats: int = 1) -> list[TraceBenchRow]:
+                     repeats: int = 1,
+                     version: int | None = None) -> list[TraceBenchRow]:
     """Measure record+replay vs. N live instrumented runs per workload.
 
     ``repeats`` > 1 keeps the minimum of several timings per side,
-    damping scheduler noise on small workloads.
+    damping scheduler noise on small workloads. ``version`` pins the
+    trace format (default: the writer's default, currently v2 — its
+    compact decode costs ~10% replay time vs v1; pass ``version=1`` to
+    bench the fixed-record format).
     """
     import os
     import tempfile
 
     from repro.analyses import make_analyses
     from repro.runtime.interpreter import run_source
+    from repro.trace.events import DEFAULT_TRACE_VERSION
     from repro.trace.replay import replay_trace
     from repro.trace.writer import record_source
 
     from repro.workloads import names as workload_names
 
+    if version is None:
+        version = DEFAULT_TRACE_VERSION
     rows = []
     for name in (names if names is not None else workload_names()):
         workload = get(name, scale)
@@ -319,7 +326,7 @@ def trace_bench_rows(names: list[str] | None = None, scale: float = 0.5,
         # land on whichever side happens to run first.
         with tempfile.TemporaryDirectory() as tmp:
             warm = os.path.join(tmp, "warm.trace")
-            record_source(source, warm)
+            record_source(source, warm, version=version)
             replay_trace(warm, analyses)
         Alchemist().profile(source)
 
@@ -341,7 +348,7 @@ def trace_bench_rows(names: list[str] | None = None, scale: float = 0.5,
             path = os.path.join(tmp, f"{name}.trace")
             for _ in range(repeats):
                 start = time.perf_counter()
-                recorded = record_source(source, path)
+                recorded = record_source(source, path, version=version)
                 record_best = min(record_best,
                                   time.perf_counter() - start)
                 events, trace_bytes = recorded.events, recorded.trace_bytes
@@ -359,9 +366,13 @@ def trace_bench_rows(names: list[str] | None = None, scale: float = 0.5,
 def trace_bench(names: list[str] | None = None, scale: float = 0.5,
                 analyses: tuple[str, ...] = ("dep", "locality", "hot"),
                 out_path: str | None = "BENCH_trace.json",
-                repeats: int = 2) -> dict:
+                repeats: int = 2, version: int | None = None) -> dict:
     """The BENCH_trace.json artifact: per-workload rows plus totals."""
-    rows = trace_bench_rows(names, scale, analyses, repeats)
+    from repro.trace.events import DEFAULT_TRACE_VERSION
+
+    if version is None:
+        version = DEFAULT_TRACE_VERSION
+    rows = trace_bench_rows(names, scale, analyses, repeats, version)
     live = sum(r.live_seconds for r in rows)
     rec = sum(r.record_seconds for r in rows)
     rep = sum(r.replay_seconds for r in rows)
@@ -370,6 +381,7 @@ def trace_bench(names: list[str] | None = None, scale: float = 0.5,
         "scale": scale,
         "analyses": list(analyses),
         "repeats": repeats,
+        "trace_version": version,
         "rows": [dict(asdict(r), speedup=r.speedup) for r in rows],
         "total": {
             "live_seconds": live,

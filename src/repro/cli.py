@@ -21,16 +21,26 @@ Subcommands
 ``annotate FILE --line N``
     Render the transformation guidance for the construct at line N as
     an annotated source listing (spawn/join/privatize markers).
-``record FILE -o x.trace``
+``record FILE -o x.trace [--sample interval:100] [--format 2]``
     Execute once under the trace recorder; every interpreter event is
-    streamed into a compact self-contained trace file.
+    streamed into a compact self-contained trace file (v2
+    block-compressed by default). ``--sample`` gates the memory-event
+    stream through a sampling policy for much smaller traces.
 ``replay x.trace --analysis dep,locality,hot``
     Thin alias for replaying an existing trace file through registered
-    analyses — no re-execution.
+    analyses — no re-execution. v1 and v2 traces replay alike.
+``info x.trace``
+    Inspect a trace without replaying it: format version, header
+    provenance (digest, sampling policy), event counts by type, and
+    compressed vs. uncompressed sizes.
 ``batch``
     Record and replay many workloads concurrently (multiprocessing);
     analyses resolve through the registry; ``--bench`` also writes the
     BENCH_trace.json replay-vs-rerun speedup artifact.
+``bench-sampling``
+    Measure the sampling/format trade-off across workloads — trace
+    size reduction and record speedup vs per-analysis accuracy — and
+    write the BENCH_sampling.json artifact.
 ``workloads``
     List the bundled benchmark ports.
 ``experiments``
@@ -88,8 +98,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                           else 4096),
             "track_war_waw": not args.raw_only,
         }}
+    try:
+        session_options = ProfileOptions(sample=args.sample)
+    except ValueError as exc:
+        raise CliError(str(exc)) from None
     source = _read(args.file)
-    with Session() as session:
+    with Session(session_options) as session:
         report = session.analyze(source, args.analysis,
                                  filename=args.file,
                                  mode="live" if args.live else "auto",
@@ -186,15 +200,79 @@ def _cmd_tree(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_sample(spec: str | None):
+    from repro.sampling.policies import parse_sample_spec
+
+    try:
+        return parse_sample_spec(spec)
+    except ValueError as exc:
+        raise CliError(str(exc)) from None
+
+
 def _cmd_record(args: argparse.Namespace) -> int:
     from repro.trace import record_source
 
     out = args.out or (args.file + ".trace")
-    result = record_source(_read(args.file), out, filename=args.file)
+    policy = _parse_sample(args.sample)
+    result = record_source(_read(args.file), out, filename=args.file,
+                           version=args.format, sampling=policy)
+    sampled = ("" if policy.is_full
+               else f", sampled {policy.spec}")
     print(f"recorded {result.events} events ({result.trace_bytes} bytes, "
-          f"{result.final_time} instructions) -> {result.path}")
+          f"{result.final_time} instructions, format v{result.version}"
+          f"{sampled}) -> {result.path}")
     print(f"[exit {result.exit_value}; {result.wall_seconds:.3f}s]",
           file=sys.stderr)
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.trace.events import (EVENT_NAMES, RECORD_SIZE,
+                                    TRACE_VERSION_V1)
+    from repro.trace.reader import TraceReader
+
+    with TraceReader(args.trace) as reader:
+        header = reader.header
+        counts: dict[int, int] = {}
+        for etype, _a, _b, _t in reader.events():
+            counts[etype] = counts.get(etype, 0) + 1
+        footer = reader.footer
+        decoder = reader.decoder
+    total = sum(counts.values())
+    file_bytes = os.path.getsize(args.trace)
+    v1_equivalent = total * RECORD_SIZE
+    formats = {1: "v1 (fixed 13-byte records)",
+               2: "v2 (delta/varint records, zlib blocks)"}
+    print(f"trace:      {args.trace}")
+    print(f"format:     {formats.get(reader.version, reader.version)}")
+    print(f"program:    {header.filename}")
+    print(f"digest:     sha256:{header.digest}")
+    print(f"sampling:   {header.sampling}")
+    print(f"functions:  {len(header.functions)} "
+          f"({', '.join(header.functions[:8])}"
+          f"{', ...' if len(header.functions) > 8 else ''})")
+    # .get: a corrupt type byte still prints (replay would reject it,
+    # but info's job is to show what is in the file, without crashing).
+    by_name = ", ".join(
+        f"{EVENT_NAMES.get(etype, f'type{etype}')}={counts[etype]}"
+        for etype in sorted(counts))
+    print(f"events:     {total} ({by_name})")
+    print(f"time:       {footer.final_time} instructions")
+    print(f"exit:       {footer.exit_value}; "
+          f"{len(footer.output)} output line(s)")
+    if reader.version == TRACE_VERSION_V1:
+        print(f"size:       {file_bytes} B on disk; event records "
+              f"{v1_equivalent} B uncompressed")
+    else:
+        ratio = (v1_equivalent / decoder.compressed_bytes
+                 if decoder.compressed_bytes else float("nan"))
+        print(f"size:       {file_bytes} B on disk; events "
+              f"{decoder.compressed_bytes} B compressed in "
+              f"{decoder.blocks} block(s), {decoder.raw_bytes} B "
+              f"unpacked, {v1_equivalent} B v1-equivalent "
+              f"({ratio:.1f}x smaller)")
     return 0
 
 
@@ -223,8 +301,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     analyses = tuple(parse_spec(args.analysis))
     for name in analyses:  # fail fast through the registry
         get_analysis(name)
+    policy = _parse_sample(args.sample)
     report = record_replay_many(names, args.out_dir, analyses=analyses,
-                                workers=args.workers, scale=args.scale)
+                                workers=args.workers, scale=args.scale,
+                                sampling=policy.spec,
+                                version=args.format)
     print(report.describe())
     failed = [r for r in report.records + report.replays if not r.ok]
     if args.bench:
@@ -236,7 +317,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         if recorded:
             data = trace_bench(recorded, scale=args.scale,
                                analyses=analyses,
-                               out_path=args.bench_out)
+                               out_path=args.bench_out,
+                               version=args.format)
             total = data["total"]
             print(f"\nreplay-vs-rerun: {total['live_seconds']:.3f}s live "
                   f"vs {total['record_seconds'] + total['replay_seconds']:.3f}s "
@@ -256,6 +338,50 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
     return 1 if failed else 0
+
+
+def _cmd_bench_sampling(args: argparse.Namespace) -> int:
+    from repro.bench.sampling import DEFAULT_POLICIES, sampling_bench
+    from repro.workloads import names as workload_names
+
+    known = workload_names()
+    names = ([n.strip() for n in args.workloads.split(",") if n.strip()]
+             if args.workloads else known)
+    unknown = [n for n in names if n not in known]
+    if unknown:  # fail fast with the exit-2 contract, not a KeyError
+        raise CliError(f"unknown workload(s): {', '.join(unknown)} "
+                       f"(known: {', '.join(known)})")
+    policies = tuple(p.strip() for p in args.policies.split(",")
+                     if p.strip()) or DEFAULT_POLICIES
+    for spec in policies:  # fail fast on bad specs
+        _parse_sample(spec)
+    data = sampling_bench(names=names, scale=args.scale,
+                          policies=policies, out_path=args.out,
+                          repeats=args.repeats)
+    for row in data["rows"]:
+        print(f"{row['name']:12s} v1={row['v1_bytes']:>9} B  "
+              f"v2={row['v2_bytes']:>9} B "
+              f"({row['format_reduction']:.1f}x)")
+        def fmt(value: float | None, spec: str = ".3f") -> str:
+            return "n/a" if value is None else format(value, spec)
+
+        for spec, pol in row["policies"].items():
+            print(f"{'':12s}   {spec:18s} {pol['trace_bytes']:>9} B "
+                  f"({pol['reduction_vs_v1']:.1f}x vs v1, "
+                  f"record {pol['record_speedup']:.2f}x, "
+                  f"replay {pol['replay_speedup']:.2f}x) "
+                  f"hot_err={fmt(pol['hot_count_error'])} "
+                  f"loc_err={fmt(pol['locality_hit_rate_error'])} "
+                  f"dep_missed={fmt(pol['dep_missed_fraction'])}")
+    summary = data["summary"]
+    print(f"\ntarget (>= {summary['target']['min_reduction']}x smaller, "
+          f"<= {summary['target']['max_error']:.0%} hot/locality error):")
+    for spec, met in summary["policies"].items():
+        print(f"  {spec:18s} met on {len(met['workloads_meeting_target'])}"
+              f"/{len(data['rows'])} workload(s): "
+              f"{', '.join(met['workloads_meeting_target']) or '-'}")
+    print(f"\nwritten to {args.out}")
+    return 0
 
 
 def _cmd_workloads(args: argparse.Namespace) -> int:
@@ -322,6 +448,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "default 4096)")
     p_ana.add_argument("--raw-only", action="store_true",
                        help="skip WAR/WAW tracking (dep analysis)")
+    p_ana.add_argument("--sample", default=None, metavar="SPEC",
+                       help="record the replay trace under a sampling "
+                            "policy (interval:N, burst:K/N, "
+                            "reservoir:K[@SEED]); replayed results "
+                            "become lower-confidence hints")
     p_ana.set_defaults(func=_cmd_analyze)
 
     p_lst = sub.add_parser("analyses",
@@ -377,6 +508,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_rec.add_argument("file")
     p_rec.add_argument("-o", "--out", default=None,
                        help="trace output path (default FILE.trace)")
+    p_rec.add_argument("--sample", default=None, metavar="SPEC",
+                       help="sampling policy for memory events: "
+                            "interval:N, burst:K/N, reservoir:K[@SEED] "
+                            "(default: full fidelity)")
+    p_rec.add_argument("--format", type=int, choices=(1, 2), default=2,
+                       help="trace schema version to write (default 2, "
+                            "block-compressed)")
     p_rec.set_defaults(func=_cmd_record)
 
     p_rep = sub.add_parser("replay",
@@ -386,6 +524,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated registered analyses "
                             "(default: dep)")
     p_rep.set_defaults(func=_cmd_replay)
+
+    p_info = sub.add_parser(
+        "info", help="inspect a trace file without replaying it")
+    p_info.add_argument("trace")
+    p_info.set_defaults(func=_cmd_info)
 
     p_batch = sub.add_parser(
         "batch", help="record+replay many workloads concurrently")
@@ -406,7 +549,29 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also run the replay-vs-rerun benchmark")
     p_batch.add_argument("--bench-out", default="BENCH_trace.json",
                          help="speedup artifact path (with --bench)")
+    p_batch.add_argument("--sample", default=None, metavar="SPEC",
+                         help="sampling policy for the record phase "
+                              "(default: full fidelity)")
+    p_batch.add_argument("--format", type=int, choices=(1, 2), default=2,
+                         help="trace schema version to write (default 2)")
     p_batch.set_defaults(func=_cmd_batch)
+
+    p_bs = sub.add_parser(
+        "bench-sampling",
+        help="measure trace-size/speed vs accuracy across sampling "
+             "policies (writes BENCH_sampling.json)")
+    p_bs.add_argument("--workloads", default="",
+                      help="comma-separated workload names "
+                           "(default: all Table III workloads)")
+    p_bs.add_argument("--policies", default="",
+                      help="comma-separated sampling specs to measure "
+                           "(default: the bench's standard spectrum)")
+    p_bs.add_argument("--scale", type=float, default=0.5)
+    p_bs.add_argument("--repeats", type=int, default=1,
+                      help="timing repetitions (minimum kept)")
+    p_bs.add_argument("--out", default="BENCH_sampling.json",
+                      help="artifact path")
+    p_bs.set_defaults(func=_cmd_bench_sampling)
 
     p_wl = sub.add_parser("workloads", help="list bundled benchmarks")
     p_wl.add_argument("--extra", action="store_true",

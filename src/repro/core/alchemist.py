@@ -38,6 +38,13 @@ class ProfileOptions:
     #: Also time an uninstrumented run to report the slowdown factor
     #: (Table III's Orig. column).
     measure_baseline: bool = False
+    #: Sampling policy spec for recordings ("full"/None keeps every
+    #: memory event; e.g. "interval:100", "burst:1000/10000",
+    #: "reservoir:256"). Applies to trace recording only — live
+    #: analyses always see the complete stream.
+    sample: str | None = None
+    #: Trace schema version new recordings are written as (1 or 2).
+    trace_format: int | None = None
 
     def __post_init__(self) -> None:
         # Fail at construction: a non-positive pool size used to surface
@@ -49,6 +56,20 @@ class ProfileOptions:
         if self.max_steps <= 0:
             raise ValueError(
                 f"max_steps must be positive, got {self.max_steps}")
+        from repro.sampling.policies import parse_sample_spec
+        from repro.trace.events import (DEFAULT_TRACE_VERSION,
+                                        SUPPORTED_TRACE_VERSIONS)
+
+        # Normalize the spec early so equal configs cache-key equally
+        # ("INTERVAL:100 " and "interval:100" are one policy).
+        self.sample = parse_sample_spec(self.sample).spec
+        if self.trace_format is None:
+            self.trace_format = DEFAULT_TRACE_VERSION
+        elif self.trace_format not in SUPPORTED_TRACE_VERSIONS:
+            known = ", ".join(str(v) for v in SUPPORTED_TRACE_VERSIONS)
+            raise ValueError(
+                f"trace_format must be one of {known}, "
+                f"got {self.trace_format}")
 
 
 class Alchemist:

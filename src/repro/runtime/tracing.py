@@ -77,6 +77,12 @@ class NullTracer(Tracer):
 TRACER_HOOKS = tuple(name for name in vars(Tracer)
                      if name.startswith("on_") and name != "on_start")
 
+#: The memory-access hooks — the only events a sampling policy may
+#: drop. Everything else (enter/exit, block, branch, alloc, free,
+#: finish) is structural: replay needs the complete stream to
+#: reconstruct frames and the heap, so gates must pass it through.
+MEMORY_HOOKS = ("on_read", "on_write")
+
 
 def overridden_hooks(tracers: list, hook_name: str) -> list:
     """Bound ``hook_name`` methods that actually override the base

@@ -1,0 +1,46 @@
+"""Low-overhead profiling: sampling policies for the event stream.
+
+Full-fidelity tracing pays for every memory access twice — once to
+emit it, once per analysis that replays it. This package recovers most
+of the analysis accuracy at a fraction of that cost by *gating* which
+READ/WRITE events a tracer sees, behind a small pluggable protocol:
+
+``repro.sampling.policies``
+    :class:`SamplingPolicy` and the bundled controllers —
+    ``interval:N`` (every Nth memory event), ``burst:K/N`` (the first
+    K events of every N-event window), ``reservoir:K[@seed]`` (all
+    events to a uniform reservoir of K addresses) — plus
+    :func:`parse_sample_spec` for the CLI/ProfileOptions spec strings.
+``repro.sampling.tracer``
+    :class:`SampledTracer`, the gate itself: wraps any
+    :class:`~repro.runtime.tracing.Tracer` and forwards structural
+    events untouched while asking the policy about each memory event.
+``repro.sampling.accuracy``
+    Replays a sampled trace against its full-fidelity twin and reports
+    per-analysis error bounds (imported lazily — pull it in as
+    ``from repro.sampling.accuracy import compare_traces``).
+
+Sampled dependence distances deserve a warning that the rest of this
+package keeps repeating: dropped events hide dependences (violation
+counts are under-approximated), and a dropped WRITE re-pairs later
+reads with a stale writer, inventing spurious edges or shifting min
+distances. Sampled dependence profiles are lower-confidence hints,
+never proof a construct is parallelizable.
+"""
+
+from repro.sampling.policies import (BurstSampling, FullSampling,
+                                     IntervalSampling, ReservoirSampling,
+                                     SamplingPolicy, as_policy,
+                                     parse_sample_spec)
+from repro.sampling.tracer import SampledTracer
+
+__all__ = [
+    "SamplingPolicy",
+    "FullSampling",
+    "IntervalSampling",
+    "BurstSampling",
+    "ReservoirSampling",
+    "parse_sample_spec",
+    "as_policy",
+    "SampledTracer",
+]

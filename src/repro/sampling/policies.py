@@ -1,0 +1,233 @@
+"""Sampling controllers: which memory events survive recording.
+
+Every policy implements the same tiny protocol — :meth:`reset` once
+per run, then :meth:`keep` per READ/WRITE event — and self-describes
+with a canonical ``spec`` string that round-trips through
+:func:`parse_sample_spec`, rides in ``ProfileOptions.sample`` and the
+``--sample`` CLI flag, and is embedded in the trace header so replay
+consumers know what they are looking at.
+
+Policies are deterministic: the same program sampled twice yields the
+same trace (the reservoir policy draws from a seeded PRNG whose seed is
+part of its spec). ``expected_rate`` is the fraction of memory events
+the policy keeps in expectation — the scaling factor the accuracy
+module uses to correct sampled counts — and is ``None`` for the
+reservoir policy, whose rate depends on the address mix rather than a
+fixed schedule.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class SamplingPolicy:
+    """Base policy: keep everything (full fidelity).
+
+    Subclasses override :meth:`keep` (and :meth:`reset` if they carry
+    run state) and set :attr:`spec` to their canonical spec string.
+    """
+
+    #: Canonical spec string; ``parse_sample_spec(p.spec)`` rebuilds
+    #: an equivalent policy.
+    spec = "full"
+
+    def reset(self) -> None:
+        """Forget run state; called once before each recording."""
+
+    def keep(self, addr: int, is_write: bool) -> bool:
+        """Should this memory event reach the wrapped tracer?"""
+        return True
+
+    def expected_rate(self) -> float | None:
+        """Expected fraction of memory events kept (None: data-driven)."""
+        return 1.0
+
+    @property
+    def is_full(self) -> bool:
+        return self.spec == "full"
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.spec!r})"
+
+
+class FullSampling(SamplingPolicy):
+    """The identity policy; recording under it equals no sampling."""
+
+
+class IntervalSampling(SamplingPolicy):
+    """Keep every Nth memory event (reads and writes share the clock).
+
+    The classic systematic sampler: cheap (one counter), uniform in
+    *time*, and with expected rate exactly ``1/n``. Periodic access
+    patterns whose period divides ``n`` can alias; the burst policy
+    trades a little locality bias for robustness against that.
+    """
+
+    def __init__(self, every: int):
+        if every < 1:
+            raise ValueError(
+                f"interval sampling needs every >= 1, got {every}")
+        self.every = every
+        self.spec = f"interval:{every}"
+        self._count = 0
+
+    def reset(self) -> None:
+        self._count = 0
+
+    def keep(self, addr: int, is_write: bool) -> bool:
+        count = self._count
+        self._count = count + 1
+        return count % self.every == 0
+
+    def expected_rate(self) -> float | None:
+        return 1.0 / self.every
+
+
+class BurstSampling(SamplingPolicy):
+    """Keep the first K events of every N-event window (PROMPT-style
+    periodic bursts).
+
+    Bursts preserve *local* structure — short reuse distances and
+    tight dependence chains inside a burst are observed exactly — at
+    the same expected rate ``K/N`` as an interval sampler with the
+    matching ratio.
+    """
+
+    def __init__(self, keep_events: int, period: int):
+        if keep_events < 1:
+            raise ValueError(
+                f"burst sampling needs keep >= 1, got {keep_events}")
+        if period < keep_events:
+            raise ValueError(
+                f"burst sampling needs period >= keep, got "
+                f"{keep_events}/{period}")
+        self.keep_events = keep_events
+        self.period = period
+        self.spec = f"burst:{keep_events}/{period}"
+        self._count = 0
+
+    def reset(self) -> None:
+        self._count = 0
+
+    def keep(self, addr: int, is_write: bool) -> bool:
+        count = self._count
+        self._count = count + 1
+        return count % self.period < self.keep_events
+
+    def expected_rate(self) -> float | None:
+        return self.keep_events / self.period
+
+
+class ReservoirSampling(SamplingPolicy):
+    """Keep every event to a uniform reservoir of at most K addresses.
+
+    Algorithm R over the stream of *distinct* addresses: each address
+    draws exactly once, on first encounter. The first K distinct
+    addresses fill the reservoir; the nth distinct address thereafter
+    displaces a uniformly random resident with probability K/n. Events
+    to resident addresses are kept, all others dropped; a displaced
+    address never re-enters. Addresses that survive to the end of the
+    run were admitted at their *first* event, so their counts are
+    exact — displaced addresses retain the partial counts they
+    accumulated while resident (the accuracy module words its flags
+    accordingly). This suits contention analyses (``hot``), where
+    interval sampling merely scales everything down.
+
+    Deterministic for a given seed; the seed is part of the spec.
+    Keeps one set entry per distinct address seen (bounded by the
+    interpreter's address space, like the analyses themselves).
+    """
+
+    def __init__(self, size: int, seed: int = 0):
+        if size < 1:
+            raise ValueError(
+                f"reservoir sampling needs size >= 1, got {size}")
+        self.size = size
+        self.seed = seed
+        self.spec = (f"reservoir:{size}" if seed == 0
+                     else f"reservoir:{size}@{seed}")
+        self.reset()
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._members: set[int] = set()
+        self._seen: set[int] = set()
+        self._slots: list[int] = []
+        self._distinct = 0
+
+    def keep(self, addr: int, is_write: bool) -> bool:
+        if addr in self._members:
+            return True
+        seen = self._seen
+        if addr in seen:  # already drew (and lost, or was displaced)
+            return False
+        seen.add(addr)
+        self._distinct += 1
+        slots = self._slots
+        members = self._members
+        if len(slots) < self.size:
+            members.add(addr)
+            slots.append(addr)
+            return True
+        j = self._rng.randrange(self._distinct)
+        if j < self.size:
+            members.discard(slots[j])
+            slots[j] = addr
+            members.add(addr)
+            return True
+        return False
+
+    def expected_rate(self) -> float | None:
+        return None  # depends on the address mix, not a schedule
+
+
+def parse_sample_spec(spec: str | None) -> SamplingPolicy:
+    """Build a policy from a spec string.
+
+    Accepted forms (all validated; errors are ``ValueError`` with the
+    full menu, so the CLI surfaces them as one-line diagnostics)::
+
+        full                  keep everything (also: None, "")
+        interval:N            every Nth memory event
+        burst:K/N             first K events of every N-event window
+        reservoir:K           all events to K uniformly-chosen addresses
+        reservoir:K@SEED      same, explicit PRNG seed
+    """
+    if spec is None:
+        return FullSampling()
+    text = spec.strip().lower()
+    if text in ("", "full", "none", "off"):
+        return FullSampling()
+    kind, sep, arg = text.partition(":")
+    try:
+        if kind == "interval" and sep:
+            return IntervalSampling(int(arg))
+        if kind == "burst" and sep:
+            keep_text, slash, period_text = arg.partition("/")
+            if not slash:
+                raise ValueError(arg)
+            return BurstSampling(int(keep_text), int(period_text))
+        if kind == "reservoir" and sep:
+            size_text, at, seed_text = arg.partition("@")
+            return ReservoirSampling(int(size_text),
+                                     int(seed_text) if at else 0)
+    except ValueError as exc:
+        # Distinguish our own range errors (keep their message) from
+        # int() parse failures (explain the grammar).
+        message = str(exc)
+        if "sampling needs" in message:
+            raise
+        raise ValueError(
+            f"bad sampling spec {spec!r}: expected full, interval:N, "
+            f"burst:K/N, or reservoir:K[@SEED]") from None
+    raise ValueError(
+        f"unknown sampling policy {spec!r}: expected full, interval:N, "
+        f"burst:K/N, or reservoir:K[@SEED]")
+
+
+def as_policy(sampling) -> SamplingPolicy:
+    """Coerce a spec string / policy / None into a policy instance."""
+    if isinstance(sampling, SamplingPolicy):
+        return sampling
+    return parse_sample_spec(sampling)

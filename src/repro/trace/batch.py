@@ -44,6 +44,11 @@ class BatchJob:
     workload: str = ""
     scale: float = 1.0
     analyses: tuple[str, ...] = DEFAULT_ANALYSES
+    #: Sampling spec the record phase runs under ("full" = unsampled)
+    #: and the trace schema version it writes. Replay jobs ignore both
+    #: (the reader auto-detects).
+    sampling: str = "full"
+    version: int | None = None
     #: Modules imported in the worker before resolving ``analyses`` —
     #: how user plugins reach the registry of a freshly *spawned*
     #: process (fork-start platforms inherit the parent registry, spawn
@@ -73,17 +78,23 @@ def run_job(job: BatchJob) -> BatchResult:
             for module in job.plugin_modules:
                 importlib.import_module(module)
         if job.kind == "record":
+            from repro.trace.events import DEFAULT_TRACE_VERSION
             from repro.workloads import get
 
             workload = get(job.workload or job.name, job.scale)
-            result = record_source(workload.source, job.trace_path,
-                                   filename=workload.name)
+            result = record_source(
+                workload.source, job.trace_path, filename=workload.name,
+                version=(job.version if job.version is not None
+                         else DEFAULT_TRACE_VERSION),
+                sampling=job.sampling)
             payload = {
                 "trace": result.path,
                 "events": result.events,
                 "trace_bytes": result.trace_bytes,
                 "final_time": result.final_time,
                 "exit_value": result.exit_value,
+                "version": result.version,
+                "sampling": result.sampling,
             }
         elif job.kind == "replay":
             # Analyses resolve through the shared registry; every
@@ -171,19 +182,23 @@ def record_replay_many(workload_names: list[str], out_dir: str,
                        analyses: tuple[str, ...] = DEFAULT_ANALYSES,
                        workers: int | None = None,
                        scale: float = 1.0,
-                       plugin_modules: tuple[str, ...] = ()) -> BatchReport:
+                       plugin_modules: tuple[str, ...] = (),
+                       sampling: str = "full",
+                       version: int | None = None) -> BatchReport:
     """Record every workload, then replay every trace, both in parallel.
 
     The two phases are separated by a barrier (a replay needs its trace
     on disk); within each phase jobs run concurrently. Pass the modules
     that ``@register`` your custom analyses via ``plugin_modules`` so
-    spawned workers can resolve them too.
+    spawned workers can resolve them too. ``sampling``/``version``
+    configure the record phase (see :func:`repro.trace.record_source`).
     """
     os.makedirs(out_dir, exist_ok=True)
     start = _time.perf_counter()
     record_jobs = [
         BatchJob(kind="record", name=name, workload=name, scale=scale,
-                 trace_path=os.path.join(out_dir, f"{name}.trace"))
+                 trace_path=os.path.join(out_dir, f"{name}.trace"),
+                 sampling=sampling, version=version)
         for name in workload_names
     ]
     records = run_batch(record_jobs, workers)

@@ -1,0 +1,362 @@
+"""Event-stream codecs: the version-specific wire formats.
+
+The file envelope (magic, header, footer, trailer) is shared by every
+trace version and lives in :mod:`repro.trace.events`; this module owns
+only the *events* section in between. Both sides of each version are
+here so the writer and reader cannot drift apart, and so the round-trip
+fuzz tests can drive a codec directly without building a whole file.
+
+**v1** packs each event as a fixed 13-byte ``<BIII`` record — type
+byte, operands ``a``/``b``, timestamp delta. Simple and decodable with
+one :func:`struct.iter_unpack` per chunk.
+
+**v2** packs each event as::
+
+    type      1 byte
+    zz(Δa)    uvarint   zigzag delta of ``a`` vs the previous record
+                        of the SAME type
+    zz(Δb)    uvarint   likewise for ``b``
+    Δt        uvarint   timestamp delta vs the previous record (any
+                        type; timestamps are globally monotone)
+
+and groups records into independently zlib-compressed blocks framed
+as ``<II`` (compressed length, uncompressed length). Per-type deltas
+make sequential address sweeps and repeated PCs collapse to one or two
+bytes before compression; zlib then squeezes the remaining structure.
+A block boundary never splits a record, but the per-type delta state
+deliberately carries *across* blocks (blocks are a framing unit, not a
+seek unit — traces are streamed start to end).
+
+Decoding errors follow the reader's contract: a file that ends inside
+a block frame or whose decompressed payload stops mid-record raises
+:class:`TraceTruncatedError`; a block that fails to decompress or
+whose length field lies raises :class:`TraceError`.
+"""
+
+from __future__ import annotations
+
+import zlib
+from struct import Struct
+from typing import BinaryIO, Iterator
+
+from repro.trace.events import (EV_FINISH, RECORD, RECORD_SIZE, TraceError,
+                                TraceTruncatedError)
+
+#: v2 block frame: compressed payload length, uncompressed length.
+BLOCK_HEADER = Struct("<II")
+BLOCK_HEADER_SIZE = BLOCK_HEADER.size
+
+#: Flush a v2 block once this much uncompressed record data buffered.
+DEFAULT_BLOCK_BYTES = 1 << 16
+
+#: v1 writer flush threshold (bytes of packed records).
+V1_FLUSH_BYTES = 1 << 20
+
+#: Records per read() while streaming v1 (chunk is a multiple of the
+#: record size, so iter_unpack never sees a partial record).
+_V1_CHUNK_RECORDS = 16384
+V1_CHUNK_BYTES = _V1_CHUNK_RECORDS * RECORD_SIZE
+
+Event = tuple[int, int, int, int]
+
+
+# ---------------------------------------------------------------------------
+# varint primitives (LEB128 + zigzag)
+# ---------------------------------------------------------------------------
+
+def zigzag(n: int) -> int:
+    """Map a signed int to an unsigned one with small-magnitude bias.
+
+    Reference implementation: the encoder/decoder hot loops inline
+    this transform, and the codec fuzz tests pin the inlined copies
+    against these functions.
+    """
+    return n * 2 if n >= 0 else -n * 2 - 1
+
+
+def unzigzag(z: int) -> int:
+    """Inverse of :func:`zigzag` (same reference-implementation role)."""
+    return z >> 1 if not z & 1 else -(z >> 1) - 1
+
+
+def append_uvarint(buf: bytearray, n: int) -> None:
+    while n > 0x7F:
+        buf.append((n & 0x7F) | 0x80)
+        n >>= 7
+    buf.append(n)
+
+
+def read_uvarint(data: bytes, pos: int) -> tuple[int, int]:
+    """Decode one uvarint at ``pos``; returns (value, new pos)."""
+    result = 0
+    shift = 0
+    end = len(data)
+    while True:
+        if pos >= end:
+            raise TraceTruncatedError(
+                "event record cut mid-way (varint runs past the block)")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+# ---------------------------------------------------------------------------
+# Encoders: writer-side, one per version
+# ---------------------------------------------------------------------------
+
+class V1Encoder:
+    """Fixed-record encoder; ``take()`` hands back raw packed bytes."""
+
+    version = 1
+    flush_bytes = V1_FLUSH_BYTES
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._pack = RECORD.pack
+
+    def add(self, etype: int, a: int, b: int, delta: int) -> None:
+        self._buffer += self._pack(etype, a, b, delta)
+
+    def pending(self) -> int:
+        return len(self._buffer)
+
+    def take(self) -> bytes:
+        """Everything buffered, ready to append to the file."""
+        out = bytes(self._buffer)
+        self._buffer.clear()
+        return out
+
+
+class V2Encoder:
+    """Delta/varint encoder; ``take()`` hands back one framed block."""
+
+    version = 2
+
+    def __init__(self, block_bytes: int = DEFAULT_BLOCK_BYTES) -> None:
+        if block_bytes <= 0:
+            raise ValueError(
+                f"block_bytes must be positive, got {block_bytes}")
+        self.flush_bytes = block_bytes
+        self._raw = bytearray()
+        # Per-event-type previous operands (256 slots: the type byte's
+        # whole range, so a corrupt type can never index out of bounds).
+        self._prev_a = [0] * 256
+        self._prev_b = [0] * 256
+
+    def add(self, etype: int, a: int, b: int, delta: int) -> None:
+        prev_a = self._prev_a
+        da = a - prev_a[etype]
+        prev_a[etype] = a
+        za = da + da if da >= 0 else -da - da - 1
+        prev_b = self._prev_b
+        db = b - prev_b[etype]
+        prev_b[etype] = b
+        zb = db + db if db >= 0 else -db - db - 1
+        buf = self._raw
+        if za < 0x80 and zb < 0x80 and delta < 0x80:
+            # The overwhelmingly common record: three single-byte
+            # varints (small per-type deltas), appended inline.
+            buf.append(etype)
+            buf.append(za)
+            buf.append(zb)
+            buf.append(delta)
+            return
+        buf.append(etype)
+        append_uvarint(buf, za)
+        append_uvarint(buf, zb)
+        append_uvarint(buf, delta)
+
+    def pending(self) -> int:
+        return len(self._raw)
+
+    def take(self) -> bytes:
+        """One framed, compressed block (empty bytes if nothing pends)."""
+        raw = self._raw
+        if not raw:
+            return b""
+        payload = zlib.compress(bytes(raw), 6)
+        frame = BLOCK_HEADER.pack(len(payload), len(raw)) + payload
+        raw.clear()
+        return frame
+
+
+def make_encoder(version: int,
+                 block_bytes: int = DEFAULT_BLOCK_BYTES):
+    if version == 1:
+        return V1Encoder()
+    if version == 2:
+        return V2Encoder(block_bytes)
+    raise TraceError(f"cannot write trace schema version {version}")
+
+
+# ---------------------------------------------------------------------------
+# Decoders: reader-side
+# ---------------------------------------------------------------------------
+
+class V1Decoder:
+    """Streams fixed 13-byte records until FINISH.
+
+    Exposes :attr:`records` (count consumed) afterwards so the caller
+    can compute the footer's file offset — v1 has no framing, so the
+    offset is arithmetic over the record count.
+    """
+
+    def __init__(self, handle: BinaryIO, path: str) -> None:
+        self._handle = handle
+        self.path = path
+        self.records = 0
+
+    def events(self) -> Iterator[Event]:
+        handle = self._handle
+        unpack_chunk = RECORD.iter_unpack
+        time = 0
+        records = 0
+        while True:
+            # A chunk near the end of the file may contain footer bytes
+            # after the FINISH record; alignment is only meaningful for
+            # the records before FINISH, so trim and check afterwards.
+            chunk = handle.read(V1_CHUNK_BYTES)
+            if not chunk:
+                raise TraceTruncatedError(
+                    f"{self.path}: event stream ends without FINISH")
+            remainder = len(chunk) % RECORD_SIZE
+            for etype, a, b, delta in unpack_chunk(chunk[:len(chunk)
+                                                         - remainder]):
+                time += delta
+                records += 1
+                yield (etype, a, b, time)
+                if etype == EV_FINISH:
+                    self.records = records
+                    return
+            if remainder:
+                raise TraceTruncatedError(
+                    f"{self.path}: trace ends mid-record "
+                    f"({remainder} trailing bytes)")
+
+
+class V2Decoder:
+    """Streams block-framed varint records until FINISH.
+
+    Tracks :attr:`blocks`, :attr:`compressed_bytes` and
+    :attr:`raw_bytes` for the ``info`` verb's size accounting.
+    """
+
+    def __init__(self, handle: BinaryIO, path: str) -> None:
+        self._handle = handle
+        self.path = path
+        self.records = 0
+        self.blocks = 0
+        self.compressed_bytes = 0
+        self.raw_bytes = 0
+
+    def events(self) -> Iterator[Event]:
+        handle = self._handle
+        prev_a = [0] * 256
+        prev_b = [0] * 256
+        time = 0
+        while True:
+            frame = handle.read(BLOCK_HEADER_SIZE)
+            if not frame:
+                raise TraceTruncatedError(
+                    f"{self.path}: event stream ends without FINISH")
+            if len(frame) < BLOCK_HEADER_SIZE:
+                raise TraceTruncatedError(
+                    f"{self.path}: trace ends inside a block header")
+            comp_len, raw_len = BLOCK_HEADER.unpack(frame)
+            payload = handle.read(comp_len)
+            if len(payload) < comp_len:
+                raise TraceTruncatedError(
+                    f"{self.path}: trace ends mid-block "
+                    f"({len(payload)} of {comp_len} payload bytes)")
+            try:
+                data = zlib.decompress(payload)
+            except zlib.error as exc:
+                raise TraceError(
+                    f"{self.path}: corrupt trace block: {exc}") from exc
+            if len(data) != raw_len:
+                raise TraceError(
+                    f"{self.path}: block length mismatch "
+                    f"({raw_len} declared, {len(data)} decompressed)")
+            self.blocks += 1
+            self.compressed_bytes += comp_len
+            self.raw_bytes += raw_len
+            pos = 0
+            end = len(data)
+            records = self.records
+            try:
+                while pos < end:
+                    etype = data[pos]
+                    # Inline uvarint fast path: single-byte fields
+                    # dominate (the encoder's fast path is their twin).
+                    # IndexError from a record cut by block truncation
+                    # is mapped to TraceTruncatedError below.
+                    za = data[pos + 1]
+                    if za < 0x80:
+                        pos += 2
+                    else:
+                        za, pos = read_uvarint(data, pos + 1)
+                    a = prev_a[etype] + (za >> 1 if not za & 1
+                                         else -(za >> 1) - 1)
+                    prev_a[etype] = a
+                    zb = data[pos]
+                    if zb < 0x80:
+                        pos += 1
+                    else:
+                        zb, pos = read_uvarint(data, pos)
+                    b = prev_b[etype] + (zb >> 1 if not zb & 1
+                                         else -(zb >> 1) - 1)
+                    prev_b[etype] = b
+                    delta = data[pos]
+                    if delta < 0x80:
+                        pos += 1
+                    else:
+                        delta, pos = read_uvarint(data, pos)
+                    time += delta
+                    records += 1
+                    yield (etype, a, b, time)
+                    if etype == EV_FINISH:
+                        self.records = records
+                        return
+            except IndexError:
+                raise TraceTruncatedError(
+                    f"{self.path}: block ends mid-record") from None
+            finally:
+                self.records = records
+
+
+def make_decoder(version: int, handle: BinaryIO, path: str):
+    if version == 1:
+        return V1Decoder(handle, path)
+    if version == 2:
+        return V2Decoder(handle, path)
+    raise TraceError(f"cannot decode trace schema version {version}")
+
+
+def encode_events(events: list[Event], version: int,
+                  block_bytes: int = DEFAULT_BLOCK_BYTES) -> bytes:
+    """Encode absolute-timestamp events into one event-stream blob.
+
+    Test/fuzz helper: the exact bytes a writer would put between the
+    header and the footer, without building either.
+    """
+    encoder = make_encoder(version, block_bytes)
+    out = bytearray()
+    last = 0
+    for etype, a, b, t in events:
+        encoder.add(etype, a, b, t - last)
+        last = t
+        if encoder.pending() >= encoder.flush_bytes:
+            out += encoder.take()
+    out += encoder.take()
+    return bytes(out)
+
+
+def decode_events(blob: bytes, version: int,
+                  path: str = "<blob>") -> list[Event]:
+    """Inverse of :func:`encode_events` (stops after FINISH)."""
+    import io
+
+    return list(make_decoder(version, io.BytesIO(blob), path).events())

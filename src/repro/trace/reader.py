@@ -1,17 +1,23 @@
 """Lazy trace reading: stream events without loading the file.
 
-:class:`TraceReader` parses the header eagerly (it is small) and then
-yields events chunk by chunk, so a trace larger than memory replays in
-constant space. Each yielded event is a plain tuple
+:class:`TraceReader` parses the header eagerly (it is small), sniffs
+the schema version from the envelope, and then yields events chunk by
+chunk (v1) or block by block (v2), so a trace larger than memory
+replays in constant space. Each yielded event is a plain tuple
 ``(etype, a, b, timestamp)`` with the *absolute* timestamp already
-reconstructed from the stored deltas.
+reconstructed from the stored deltas — consumers never see which wire
+format the file used.
 
 Error handling contract (exercised by the format tests):
 
 * wrong magic or a header that fails to parse → :class:`TraceError`;
-* a version other than :data:`TRACE_VERSION` → :class:`TraceVersionError`;
-* EOF before the FINISH event, a record cut mid-way, or a missing
-  footer/trailer → :class:`TraceTruncatedError`.
+* a version outside :data:`SUPPORTED_TRACE_VERSIONS` →
+  :class:`TraceVersionError`;
+* EOF before the FINISH event — whether the cut lands in the header, a
+  v1 record, a v2 block header, or mid-block — or a missing
+  footer/trailer → :class:`TraceTruncatedError`;
+* a v2 block that fails to decompress or whose declared length lies →
+  :class:`TraceError`.
 """
 
 from __future__ import annotations
@@ -19,18 +25,13 @@ from __future__ import annotations
 import os
 from typing import BinaryIO, Iterator
 
-from repro.trace.events import (EV_FINISH, MAGIC, RECORD, RECORD_SIZE,
-                                TRACE_VERSION, TRAILER, TraceError,
-                                TraceFooter, TraceHeader,
-                                TraceTruncatedError, TraceVersionError,
-                                source_digest, unpack_length, unpack_version)
-
-#: Records per read() call while streaming (the chunk is a multiple of
-#: the record size, so iter_unpack never sees a partial record).
-_CHUNK_RECORDS = 16384
-_CHUNK_BYTES = _CHUNK_RECORDS * RECORD_SIZE
-
-Event = tuple[int, int, int, int]
+from repro.trace.codec import Event, make_decoder
+from repro.trace.events import (MAGIC, RECORD_SIZE,
+                                SUPPORTED_TRACE_VERSIONS, TRACE_VERSION_V1,
+                                TRAILER, TraceError, TraceFooter,
+                                TraceHeader, TraceTruncatedError,
+                                TraceVersionError, source_digest,
+                                unpack_length, unpack_version)
 
 
 class TraceReader:
@@ -40,10 +41,15 @@ class TraceReader:
     def __init__(self, path: str | os.PathLike):
         self.path = os.fspath(path)
         self._handle: BinaryIO = open(self.path, "rb")
+        #: Schema version of the file (auto-detected; 1 or 2).
+        self.version: int = 0
         self.header = self._read_header()
         self._events_start = self._handle.tell()
         #: Populated once ``events()`` has been fully consumed.
         self.footer: TraceFooter | None = None
+        #: The decoder of the most recent ``events()`` pass (exposes
+        #: per-stream stats such as v2 block/byte counts).
+        self.decoder = None
 
     # -- setup -------------------------------------------------------------
 
@@ -55,10 +61,12 @@ class TraceReader:
             raise TraceError(f"{self.path}: not an Alchemist trace "
                              f"(bad magic {magic!r})")
         version = unpack_version(self._handle.read(2))
-        if version != TRACE_VERSION:
+        if version not in SUPPORTED_TRACE_VERSIONS:
+            known = ", ".join(str(v) for v in SUPPORTED_TRACE_VERSIONS)
             raise TraceVersionError(
                 f"{self.path}: trace schema version {version}, this "
-                f"reader understands only {TRACE_VERSION}")
+                f"reader understands only {known}")
+        self.version = version
         length = unpack_length(self._handle.read(4))
         blob = self._handle.read(length)
         if len(blob) < length:
@@ -78,34 +86,18 @@ class TraceReader:
         ``on_finish``); afterwards the footer is parsed and exposed as
         :attr:`footer`.
         """
-        handle = self._handle
-        handle.seek(self._events_start)
-        unpack_chunk = RECORD.iter_unpack
-        time = 0
-        records = 0
-        while True:
-            # A chunk near the end of the file may contain footer bytes
-            # after the FINISH record; alignment is only meaningful for
-            # the records before FINISH, so trim and check afterwards.
-            chunk = handle.read(_CHUNK_BYTES)
-            if not chunk:
-                raise TraceTruncatedError(
-                    f"{self.path}: event stream ends without FINISH")
-            remainder = len(chunk) % RECORD_SIZE
-            for etype, a, b, delta in unpack_chunk(chunk[:len(chunk)
-                                                         - remainder]):
-                time += delta
-                records += 1
-                yield (etype, a, b, time)
-                if etype == EV_FINISH:
-                    self._read_footer(records)
-                    return
-            if remainder:
-                raise TraceTruncatedError(
-                    f"{self.path}: trace ends mid-record "
-                    f"({remainder} trailing bytes)")
+        self._handle.seek(self._events_start)
+        decoder = make_decoder(self.version, self._handle, self.path)
+        self.decoder = decoder
+        yield from decoder.events()
+        # The decoder returned, so FINISH was seen (anything else
+        # raised); everything after the records is the footer.
+        if self.version == TRACE_VERSION_V1:
+            self._read_footer_v1(decoder.records)
+        else:
+            self.read_footer()
 
-    def _read_footer(self, records: int) -> None:
+    def _read_footer_v1(self, records: int) -> None:
         """Parse ``[blob][len][trailer]``, right after the records."""
         handle = self._handle
         handle.seek(self._events_start + records * RECORD_SIZE)

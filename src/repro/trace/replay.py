@@ -248,6 +248,7 @@ class ReplayEngine:
                 raise TraceError(f"unknown event type {etype}")
         wall = _time.perf_counter() - start
         footer = reader.footer
+        sampling = getattr(header, "sampling", "full")
         return AnalysisContext(
             program=program,
             memory=memory,
@@ -258,6 +259,7 @@ class ReplayEngine:
             events=footer.events if footer is not None else 0,
             wall_seconds=wall,
             mode="replay",
+            sampling=None if sampling in (None, "", "full") else sampling,
         )
 
 

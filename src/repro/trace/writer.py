@@ -2,10 +2,22 @@
 
 :class:`TraceWriter` plugs into the interpreter exactly like the live
 profiler does — it is a :class:`~repro.runtime.tracing.Tracer` — but
-instead of analyzing events it appends 13-byte records to a buffered
+instead of analyzing events it appends encoded records to a buffered
 file. Recording is therefore far cheaper than profiling (no shadow
 memory, no index tree), and the resulting trace can be replayed through
 any number of analyses without touching the interpreter again.
+
+The on-disk encoding is pluggable by version (see
+:mod:`repro.trace.codec`): v1 writes fixed 13-byte records, v2 —
+the default — writes delta/varint records in zlib-compressed blocks,
+18-78x smaller on the bundled workloads (measured in
+``BENCH_sampling.json``). Recording can also run under a sampling
+policy (:mod:`repro.sampling`): the policy gates which READ/WRITE
+events reach the file while every structural event (enter/exit, block,
+branch, alloc, free, finish) is always kept, so a sampled trace still
+replays with exact memory reconstruction — only the memory-access
+stream is thinned. The policy's spec string is embedded in the header
+so consumers can label sampled results as lower-confidence.
 
 The header is written from :meth:`TraceWriter.on_start` (which is the
 first moment the program — and with it the function-name table and
@@ -24,14 +36,12 @@ from repro.ir.lowering import compile_source
 from repro.runtime.interpreter import DEFAULT_MAX_STEPS, Interpreter
 from repro.runtime.memory import Memory
 from repro.runtime.tracing import Tracer
-from repro.trace.events import (EV_ALLOC, EV_BLOCK, EV_BRANCH, EV_ENTER,
-                                EV_EXIT, EV_FINISH, EV_FREE, EV_READ,
-                                EV_WRITE, MAGIC, RECORD, TRAILER, TraceFooter,
-                                TraceHeader, check_u32, pack_length,
-                                pack_version, source_digest)
-
-#: Flush the event buffer to disk once it exceeds this many bytes.
-_FLUSH_BYTES = 1 << 20
+from repro.trace.codec import DEFAULT_BLOCK_BYTES, make_encoder
+from repro.trace.events import (DEFAULT_TRACE_VERSION, EV_ALLOC, EV_BLOCK,
+                                EV_BRANCH, EV_ENTER, EV_EXIT, EV_FINISH,
+                                EV_FREE, EV_READ, EV_WRITE, MAGIC, TRAILER,
+                                TraceFooter, TraceHeader, check_u32,
+                                pack_length, pack_version, source_digest)
 
 
 class TraceWriter(Tracer):
@@ -46,19 +56,31 @@ class TraceWriter(Tracer):
         header together with its digest so the trace is self-contained.
     filename:
         Reported in the header for provenance only.
+    version:
+        Trace schema version to write (1 or 2; default v2).
+    sampling:
+        Spec string recorded in the header (``"full"`` unless the run
+        is gated by a sampling policy — the *gating* itself is the
+        policy's job, via :class:`repro.sampling.SampledTracer`).
+    block_bytes:
+        v2 only: uncompressed bytes buffered per compressed block.
     """
 
     def __init__(self, path: str | os.PathLike, source: str,
-                 filename: str = "<input>"):
+                 filename: str = "<input>", *,
+                 version: int = DEFAULT_TRACE_VERSION,
+                 sampling: str = "full",
+                 block_bytes: int = DEFAULT_BLOCK_BYTES):
         self.path = os.fspath(path)
         self.source = source
         self.filename = filename
+        self.version = version
+        self.sampling = sampling
         self.events = 0
         self.final_time = 0
         self.closed = False
+        self._encoder = make_encoder(version, block_bytes)
         self._handle = open(self.path, "wb")
-        self._buffer = bytearray()
-        self._pack = RECORD.pack
         self._last_time = 0
         self._fn_index: dict[str, int] = {}
 
@@ -75,10 +97,11 @@ class TraceWriter(Tracer):
             stack_limit=memory.stack_limit,
             heap_base=memory.heap_base,
             functions=functions,
+            sampling=self.sampling,
         )
         blob = header.to_bytes()
         self._handle.write(MAGIC)
-        self._handle.write(pack_version())
+        self._handle.write(pack_version(self.version))
         self._handle.write(pack_length(len(blob)))
         self._handle.write(blob)
 
@@ -92,6 +115,8 @@ class TraceWriter(Tracer):
         if self.closed:
             return
         self.closed = True
+        handle = self._handle
+        handle.write(self._encoder.take())
         footer = TraceFooter(
             exit_value=exit_value,
             output=[list(values) for values in (output or [])],
@@ -99,12 +124,10 @@ class TraceWriter(Tracer):
             final_time=self.final_time,
         )
         blob = footer.to_bytes()
-        self._buffer += blob
-        self._buffer += pack_length(len(blob))
-        self._buffer += TRAILER
-        self._handle.write(self._buffer)
-        self._buffer.clear()
-        self._handle.close()
+        handle.write(blob)
+        handle.write(pack_length(len(blob)))
+        handle.write(TRAILER)
+        handle.close()
 
     def abort(self) -> None:
         """Close the handle without a footer (the file stays truncated)."""
@@ -150,12 +173,11 @@ class TraceWriter(Tracer):
             check_u32(b, "operand")
             check_u32(delta, "timestamp delta")
         self._last_time = timestamp
-        buffer = self._buffer
-        buffer += self._pack(etype, a, b, delta)
+        encoder = self._encoder
+        encoder.add(etype, a, b, delta)
         self.events += 1
-        if len(buffer) >= _FLUSH_BYTES:
-            self._handle.write(buffer)
-            buffer.clear()
+        if encoder.pending() >= encoder.flush_bytes:
+            self._handle.write(encoder.take())
 
 
 @dataclass
@@ -168,20 +190,34 @@ class RecordResult:
     final_time: int
     trace_bytes: int
     wall_seconds: float
+    #: Schema version written and the sampling spec the run recorded
+    #: under ("full" = unsampled).
+    version: int = DEFAULT_TRACE_VERSION
+    sampling: str = "full"
 
 
 def record_program(program: ProgramIR, path: str | os.PathLike, *,
                    source: str, filename: str = "<input>",
-                   max_steps: int = DEFAULT_MAX_STEPS) -> RecordResult:
+                   max_steps: int = DEFAULT_MAX_STEPS,
+                   version: int = DEFAULT_TRACE_VERSION,
+                   sampling=None) -> RecordResult:
     """Run ``program`` under a :class:`TraceWriter`; returns the summary.
 
     ``source`` must be the text ``program`` was compiled from — it is
-    embedded in the trace and recompiled at replay time.
+    embedded in the trace and recompiled at replay time. ``sampling``
+    accepts a spec string (``"interval:100"``) or an instantiated
+    :class:`repro.sampling.SamplingPolicy`; memory events the policy
+    drops never reach the file.
     """
-    writer = TraceWriter(path, source, filename)
+    from repro.sampling import SampledTracer, as_policy
+
+    policy = as_policy(sampling)
+    writer = TraceWriter(path, source, filename, version=version,
+                         sampling=policy.spec)
+    tracer = writer if policy.is_full else SampledTracer(policy, writer)
     start = _time.perf_counter()
     try:
-        interp = Interpreter(program, writer, max_steps)
+        interp = Interpreter(program, tracer, max_steps)
         exit_value = interp.run()
     except BaseException:
         writer.abort()
@@ -195,13 +231,18 @@ def record_program(program: ProgramIR, path: str | os.PathLike, *,
         final_time=writer.final_time,
         trace_bytes=os.path.getsize(writer.path),
         wall_seconds=wall,
+        version=version,
+        sampling=policy.spec,
     )
 
 
 def record_source(source: str, path: str | os.PathLike, *,
                   filename: str = "<input>",
-                  max_steps: int = DEFAULT_MAX_STEPS) -> RecordResult:
+                  max_steps: int = DEFAULT_MAX_STEPS,
+                  version: int = DEFAULT_TRACE_VERSION,
+                  sampling=None) -> RecordResult:
     """Compile and record MiniC ``source`` into a trace at ``path``."""
     program = compile_source(source, filename)
     return record_program(program, path, source=source, filename=filename,
-                          max_steps=max_steps)
+                          max_steps=max_steps, version=version,
+                          sampling=sampling)

@@ -1,0 +1,138 @@
+"""Sampling policies: spec grammar, schedules, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sampling import (BurstSampling, FullSampling, IntervalSampling,
+                            ReservoirSampling, as_policy, parse_sample_spec)
+
+
+def pattern(policy, events):
+    """keep() decisions over a synthetic event stream."""
+    policy.reset()
+    return [policy.keep(addr, False) for addr in events]
+
+
+class TestParse:
+    @pytest.mark.parametrize("spec", [None, "", "full", "none", "off",
+                                      "  FULL  "])
+    def test_full_spellings(self, spec):
+        policy = parse_sample_spec(spec)
+        assert isinstance(policy, FullSampling)
+        assert policy.is_full
+        assert policy.expected_rate() == 1.0
+
+    def test_interval(self):
+        policy = parse_sample_spec("interval:100")
+        assert isinstance(policy, IntervalSampling)
+        assert policy.every == 100
+        assert policy.expected_rate() == pytest.approx(0.01)
+
+    def test_burst(self):
+        policy = parse_sample_spec("burst:1000/10000")
+        assert isinstance(policy, BurstSampling)
+        assert (policy.keep_events, policy.period) == (1000, 10000)
+        assert policy.expected_rate() == pytest.approx(0.1)
+
+    def test_reservoir_with_seed(self):
+        policy = parse_sample_spec("reservoir:64@7")
+        assert isinstance(policy, ReservoirSampling)
+        assert (policy.size, policy.seed) == (64, 7)
+        assert policy.expected_rate() is None
+
+    @pytest.mark.parametrize("spec", [
+        "interval", "interval:", "interval:x", "burst:5",
+        "burst:/10", "burst:a/b", "reservoir:", "gibberish",
+        "interval:100:5", "reservoir:5@x",
+    ])
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            parse_sample_spec(spec)
+
+    @pytest.mark.parametrize("spec,message", [
+        ("interval:0", "every >= 1"),
+        ("burst:0/10", "keep >= 1"),
+        ("burst:11/10", "period >= keep"),
+        ("reservoir:0", "size >= 1"),
+    ])
+    def test_range_errors_keep_their_message(self, spec, message):
+        with pytest.raises(ValueError, match=message):
+            parse_sample_spec(spec)
+
+    def test_spec_roundtrip(self):
+        for spec in ("full", "interval:7", "burst:3/12", "reservoir:16",
+                     "reservoir:16@3"):
+            policy = parse_sample_spec(spec)
+            assert parse_sample_spec(policy.spec).spec == policy.spec
+
+    def test_as_policy_passthrough(self):
+        policy = IntervalSampling(5)
+        assert as_policy(policy) is policy
+        assert as_policy("interval:5").spec == policy.spec
+
+
+class TestSchedules:
+    def test_interval_every_nth(self):
+        policy = IntervalSampling(3)
+        assert pattern(policy, range(9)) == [True, False, False] * 3
+
+    def test_interval_one_keeps_all(self):
+        policy = IntervalSampling(1)
+        assert all(pattern(policy, range(10)))
+
+    def test_burst_window(self):
+        policy = BurstSampling(2, 5)
+        assert pattern(policy, range(10)) == \
+            [True, True, False, False, False] * 2
+
+    def test_reset_restarts_the_clock(self):
+        policy = IntervalSampling(4)
+        first = pattern(policy, range(6))
+        second = pattern(policy, range(6))
+        assert first == second
+
+    def test_reservoir_small_universe_keeps_all(self):
+        policy = ReservoirSampling(16)
+        stream = [1, 2, 3, 4] * 8
+        assert all(pattern(policy, stream))
+
+    def test_reservoir_bounds_membership(self):
+        policy = ReservoirSampling(4, seed=1)
+        policy.reset()
+        kept_addrs = set()
+        for addr in range(1000):
+            if policy.keep(addr, False):
+                kept_addrs.add(addr)
+        # Every kept address was a reservoir member at its event time;
+        # the *final* membership is bounded by the size.
+        assert len(policy._slots) == 4
+
+    def test_reservoir_deterministic(self):
+        stream = [(i * 37) % 101 for i in range(500)]
+        a = pattern(ReservoirSampling(8, seed=42), stream)
+        b = pattern(ReservoirSampling(8, seed=42), stream)
+        c = pattern(ReservoirSampling(8, seed=43), stream)
+        assert a == b
+        assert a != c
+
+    def test_reservoir_draws_once_per_distinct_address(self):
+        """Algorithm R is over *distinct* addresses: re-encountering a
+        non-member address must not redraw (frequency-biased inclusion)
+        and a displaced address never re-enters, so every final
+        resident was admitted at its first event — complete counts."""
+        policy = ReservoirSampling(2, seed=0)
+        policy.reset()
+        stream = [1] * 100 + [a for a in range(2, 11) for _ in range(5)] \
+            + [1] * 100
+        kept: dict[int, int] = {}
+        first_seen: dict[int, int] = {}
+        total: dict[int, int] = {}
+        for i, addr in enumerate(stream):
+            first_seen.setdefault(addr, i)
+            total[addr] = total.get(addr, 0) + 1
+            if policy.keep(addr, False):
+                kept[addr] = kept.get(addr, 0) + 1
+        assert policy._distinct == 10  # distinct addresses, not events
+        for addr in policy._slots:  # final residents: complete counts
+            assert kept[addr] == total[addr], addr

@@ -48,10 +48,14 @@ int main() {
 """
 
 
+# These tests exercise the v1 wire format specifically (fixed 13-byte
+# records); tests/trace/test_v2_format.py covers the v2 counterparts.
+
+
 @pytest.fixture
 def small_trace(tmp_path):
     path = tmp_path / "small.trace"
-    result = record_source(SMALL, path)
+    result = record_source(SMALL, path, version=1)
     return path, result
 
 
@@ -137,10 +141,12 @@ class TestRoundTrip:
 
 class TestSchemaErrors:
     def test_version_mismatch_rejected(self, small_trace, tmp_path):
+        """Versions outside the supported set (1, 2) are rejected; v2
+        is auto-detected, so it is no longer a mismatch."""
         path, _ = small_trace
         blob = bytearray(path.read_bytes())
         offset = len(MAGIC)
-        blob[offset:offset + 2] = struct.pack("<H", TRACE_VERSION + 1)
+        blob[offset:offset + 2] = struct.pack("<H", 99)
         bad = tmp_path / "future.trace"
         bad.write_bytes(blob)
         with pytest.raises(TraceVersionError):
