@@ -125,6 +125,64 @@ class AnalysisResult:
 
 
 @dataclass
+class SegmentSeed:
+    """Checkpoint-derived state handed to :meth:`Analysis.begin_segment`.
+
+    Built by the parallel replay driver from a
+    :class:`repro.trace.shards.Checkpoint`; kept as plain data here so
+    analyses never import the trace layer.
+    """
+
+    #: Global event index / clock at the segment's first event.
+    index: int = 0
+    time: int = 0
+    #: Shadow snapshot: ``[(addr, (pc, t) | None, {pc: t}), ...]`` —
+    #: last write and per-pc reads since it, per tracked address.
+    shadow: list = field(default_factory=list)
+    #: Execution-index stack at the seam: ``[(head pc, Tenter), ...]``.
+    construct_stack: list = field(default_factory=list)
+    #: Call stack at the seam, function names bottom-to-top.
+    call_stack: list = field(default_factory=list)
+    is_first: bool = False
+    is_last: bool = False
+
+
+class AnalysisSegment:
+    """Mergeable partial result of one replayed trace segment.
+
+    ``merge(other)`` is the contract parallel replay is built on: fold
+    the segments of one trace left-to-right (``s0.merge(s1).merge(s2)
+    ...``) and ``finalize`` the result, and you get an
+    :class:`AnalysisResult` equal to what a serial replay's ``finish``
+    produces — including cross-segment dependence pairs, which workers
+    defer and the merge resolves against the accumulated live-writer
+    frontier. The fold is ordered (``other`` must be the segment
+    immediately after ``self``) and not commutative.
+    """
+
+    __slots__ = ("analysis", "cls", "state")
+
+    def __init__(self, cls: type["Analysis"], state: dict):
+        self.analysis = cls.name
+        self.cls = cls
+        self.state = state
+
+    def merge(self, other: "AnalysisSegment") -> "AnalysisSegment":
+        """Fold the next segment's partial state into this one."""
+        if other.cls is not self.cls:
+            raise AnalysisError(
+                f"cannot merge segment of {other.analysis!r} into "
+                f"{self.analysis!r}")
+        return AnalysisSegment(
+            self.cls, self.cls.merge_segment_states(self.state,
+                                                    other.state))
+
+    def finalize(self, ctx: AnalysisContext) -> AnalysisResult:
+        """Turn the folded state into the analysis's final result."""
+        return self.cls.finalize_segments(self.state, ctx)
+
+
+@dataclass
 class _FooterView:
     """Duck-type of the old ``TraceFooter`` for ``ctx.footer`` readers."""
 
@@ -190,6 +248,13 @@ class Analysis(Tracer):
     options: tuple[OptionSpec, ...] = ()
     #: True if the analysis cannot run from a recorded trace.
     requires_live: bool = False
+    #: True if the analysis implements the segment/merge protocol
+    #: (``begin_segment`` / ``export_segment`` / ``merge_segment_states``
+    #: / ``finalize_segments``) and can therefore run under sharded
+    #: parallel replay. Analyses that leave it False simply fall back
+    #: to a serial pass — parallel replay is an optimization, never a
+    #: requirement.
+    supports_segments: bool = False
 
     #: Last ``finish`` output, stashed by the engines so the deprecated
     #: ``describe`` surface can still render after a run.
@@ -215,6 +280,50 @@ class Analysis(Tracer):
                                   text=text, payload=payload)
         raise NotImplementedError(
             f"{cls.__qualname__} must implement finish()")
+
+    # -- segment/merge protocol (parallel replay) -------------------------
+
+    def begin_segment(self, program: ProgramIR, memory: Memory,
+                      seed: SegmentSeed) -> None:
+        """Prepare to observe one mid-trace segment.
+
+        Replaces ``on_start`` in a parallel worker: ``memory`` is
+        already reconstructed to the checkpoint, and ``seed`` carries
+        the shadow/stack snapshots an analysis needs so that every
+        in-segment event is handled exactly as a serial pass would
+        handle it. The default just calls ``on_start`` — correct for
+        analyses whose per-event handling never looks at pre-segment
+        state (counters, histograms).
+        """
+        self.on_start(program, memory)
+
+    def export_segment(self, ctx: AnalysisContext) -> AnalysisSegment:
+        """Package this segment's partial state for the merge.
+
+        Called in the worker after its slice of events (in place of
+        ``finish``); the returned :class:`AnalysisSegment` must be
+        picklable.
+        """
+        raise NotImplementedError(
+            f"{type(self).__qualname__} does not implement the segment "
+            "protocol")
+
+    @classmethod
+    def merge_segment_states(cls, acc: dict, part: dict) -> dict:
+        """Fold ``part`` (the next segment) into ``acc``; returns the
+        combined state. Invoked via :meth:`AnalysisSegment.merge`."""
+        raise NotImplementedError(
+            f"{cls.__qualname__} does not implement the segment "
+            "protocol")
+
+    @classmethod
+    def finalize_segments(cls, state: dict,
+                          ctx: AnalysisContext) -> AnalysisResult:
+        """Build the final result from fully folded state; must equal
+        what ``finish`` produces after a serial replay."""
+        raise NotImplementedError(
+            f"{cls.__qualname__} does not implement the segment "
+            "protocol")
 
     # -- deprecated TraceConsumer surface --------------------------------
 

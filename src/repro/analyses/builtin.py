@@ -8,6 +8,12 @@ functions in ``repro.baselines``. They are now uniform plugins: every
 one runs live, from a recorded trace, and in batch through the same
 registry, and every one is covered by the registry-parametrized
 live-vs-replay parity test.
+
+Every bundled analysis also implements the segment/merge protocol
+(``supports_segments``), so all of them run under sharded parallel
+replay (:mod:`repro.trace.parallel`) with results bit-identical to a
+serial pass; the cross-segment bookkeeping lives in
+:mod:`repro.analyses.merging`.
 """
 
 from __future__ import annotations
@@ -15,8 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.analyses.base import (Analysis, AnalysisContext, AnalysisResult,
-                                 OptionSpec, register)
+from repro.analyses.base import (Analysis, AnalysisContext,
+                                 AnalysisError, AnalysisResult,
+                                 AnalysisSegment, OptionSpec,
+                                 SegmentSeed, register)
 from repro.analysis.constructs import ConstructTable
 from repro.baselines.context_profiler import (ContextProfile,
                                               ContextSensitiveTracer)
@@ -62,6 +70,29 @@ def profile_summary(report: ProfileReport) -> dict[str, Any]:
     }
 
 
+def _dep_result(report: ProfileReport, track_war_waw: bool,
+                sampling: str | None) -> AnalysisResult:
+    """Shared result rendering for serial ``finish`` and the parallel
+    ``finalize_segments`` — one code path, so the two cannot drift."""
+    kinds = ((DepKind.RAW, DepKind.WAW, DepKind.WAR)
+             if track_war_waw else (DepKind.RAW,))
+    data = profile_summary(report)
+    text = report.to_text(kinds=kinds)
+    if sampling:
+        # A sampled stream distorts the profile in both directions:
+        # dropped events hide dependences (violation counts
+        # under-approximated), and a dropped WRITE re-pairs later
+        # reads with a stale writer (spurious edges, shifted
+        # distances).
+        data["sampled"] = sampling
+        text += (f"\nNOTE: profiled from a sampled trace "
+                 f"({sampling}); dependences may be missed or "
+                 "mis-paired and min distances shifted — treat as "
+                 "lower-confidence hints, not proof.")
+    return AnalysisResult(analysis="dep", data=data, text=text,
+                          payload=report)
+
+
 @register
 class DependenceAnalysis(Analysis):
     """The Alchemist dependence profiler as a plugin.
@@ -76,9 +107,11 @@ class DependenceAnalysis(Analysis):
     name = "dep"
     description = ("Alchemist dependence profile: min RAW/WAR/WAW "
                    "distance per construct")
+    supports_segments = True
     options = (
         OptionSpec("pool_size", int, 4096,
-                   "initial construct-pool size"),
+                   "compatibility no-op: node allocation is GC-backed "
+                   "and unbounded"),
         OptionSpec("track_war_waw", bool, True,
                    "also profile WAR/WAW dependences"),
     )
@@ -129,27 +162,147 @@ class DependenceAnalysis(Analysis):
         report = ProfileReport(ctx.program, self.table, tracer.store,
                                stats, ctx.exit_value,
                                [tuple(v) for v in ctx.output])
-        kinds = ((DepKind.RAW, DepKind.WAW, DepKind.WAR)
-                 if self.track_war_waw else (DepKind.RAW,))
-        data = profile_summary(report)
-        text = report.to_text(kinds=kinds)
-        if ctx.sampling:
-            # A sampled stream distorts the profile in both directions:
-            # dropped events hide dependences (violation counts
-            # under-approximated), and a dropped WRITE re-pairs later
-            # reads with a stale writer (spurious edges, shifted
-            # distances).
-            data["sampled"] = ctx.sampling
-            text += (f"\nNOTE: profiled from a sampled trace "
-                     f"({ctx.sampling}); dependences may be missed or "
-                     "mis-paired and min distances shifted — treat as "
-                     "lower-confidence hints, not proof.")
-        return AnalysisResult(
-            analysis=self.name,
-            data=data,
-            text=text,
-            payload=report,
+        return _dep_result(report, self.track_war_waw, ctx.sampling)
+
+    # -- segment/merge protocol -------------------------------------------
+
+    def begin_segment(self, program: ProgramIR, memory: Memory,
+                      seed: SegmentSeed) -> None:
+        from repro.analyses.merging import SegmentAlchemistTracer
+
+        self.table = ConstructTable(program)
+        inner = AlchemistTracer(self.table, self.pool_size,
+                                self.track_war_waw)
+        inner.on_start(program, memory)
+        self.tracer = inner
+        segment = SegmentAlchemistTracer(inner, seed)
+        self._segment = segment
+        # Structural hooks go straight to the inner tracer; the memory
+        # hooks route through the deferring wrapper.
+        self.on_enter_function = inner.on_enter_function
+        self.on_exit_function = inner.on_exit_function
+        self.on_block_enter = inner.on_block_enter
+        self.on_branch = inner.on_branch
+        self.on_read = segment.on_read
+        self.on_write = segment.on_write
+        self.on_frame_free = inner.on_frame_free
+        self.on_finish = inner.on_finish
+
+    def export_segment(self, ctx: AnalysisContext) -> AnalysisSegment:
+        inner = self.tracer
+        segment = self._segment
+        nodes, node_id_of = segment.export_nodes()
+        profile = {
+            pc: [prof.total_duration, prof.instances, prof.max_duration,
+                 {key: [e.min_tdep, e.count, e.var_hint, e.first_t]
+                  for key, e in prof.edges.items()}]
+            for pc, prof in inner.store.profiles.items()
+        }
+        pool = inner.pool.stats
+        state = {
+            "profile": profile,
+            "counters": {
+                "RAW": inner.raw_events,
+                "WAR": inner.war_events,
+                "WAW": inner.waw_events,
+                "edges_profiled": inner.profiler.edges_profiled,
+                "dyn": inner.store.dynamic_instances,
+            },
+            "max_depth": inner.stack.max_depth,
+            "pool": (pool.capacity, pool.acquires),
+            "deferred": segment.deferred,
+            "nodes": nodes,
+            "frontier": segment.export_frontier(node_id_of),
+            "track_war_waw": self.track_war_waw,
+        }
+        return AnalysisSegment(type(self), state)
+
+    @classmethod
+    def _internalize(cls, state: dict) -> dict:
+        from repro.analyses import merging
+
+        if state["deferred"]:
+            raise AnalysisError(
+                "first segment deferred a dependence pair — it starts "
+                "from pristine state and has no boundary to defer to")
+        recs: dict = {}
+        local = merging.register_nodes(recs, state["nodes"])
+        frontier: dict = {}
+        merging.update_dep_frontier(frontier, state["frontier"], local)
+        return {
+            "profile": state["profile"],
+            "counters": state["counters"],
+            "max_depth": state["max_depth"],
+            "pool": state["pool"],
+            "track_war_waw": state["track_war_waw"],
+            "_recs": recs,
+            "_frontier": frontier,
+        }
+
+    @classmethod
+    def merge_segment_states(cls, acc: dict, part: dict) -> dict:
+        from repro.analyses import merging
+
+        if "_recs" not in acc:
+            acc = cls._internalize(acc)
+        local = merging.register_nodes(acc["_recs"], part["nodes"])
+        merging.resolve_deferred_dep(part["deferred"], acc["_frontier"],
+                                     acc["profile"], acc["counters"])
+        merging.merge_dep_profiles(acc["profile"], part["profile"])
+        for key, value in part["counters"].items():
+            acc["counters"][key] += value
+        if part["max_depth"] > acc["max_depth"]:
+            acc["max_depth"] = part["max_depth"]
+        acc["pool"] = (max(acc["pool"][0], part["pool"][0]),
+                       acc["pool"][1] + part["pool"][1])
+        merging.update_dep_frontier(acc["_frontier"], part["frontier"],
+                                    local)
+        return acc
+
+    @classmethod
+    def finalize_segments(cls, state: dict,
+                          ctx: AnalysisContext) -> AnalysisResult:
+        from repro.core.pool import PoolStats
+        from repro.core.profile_data import (ConstructProfile, EdgeStats,
+                                             ProfileStore)
+
+        if "_recs" not in state:
+            state = cls._internalize(state)
+        table = ConstructTable(ctx.program)
+        store = ProfileStore()
+        counters = state["counters"]
+        store.dynamic_instances = counters["dyn"]
+        for pc in sorted(state["profile"]):
+            dur, inst, max_dur, edges = state["profile"][pc]
+            profile = ConstructProfile(table.by_pc[pc], dur, inst,
+                                       max_dur)
+            for key in sorted(edges, key=lambda k: (k[0], k[1],
+                                                    k[2].value)):
+                min_tdep, count, hint, first_t = edges[key]
+                profile.edges[key] = EdgeStats(
+                    key[0], key[1], key[2], min_tdep, count, hint,
+                    first_t=first_t)
+            store.profiles[pc] = profile
+        capacity, acquires = state["pool"]
+        stats = RunStats(
+            wall_seconds=ctx.wall_seconds,
+            baseline_seconds=None,
+            instructions=ctx.final_time,
+            dynamic_instances=counters["dyn"],
+            static_constructs=table.static_count(),
+            max_index_depth=state["max_depth"],
+            raw_events=counters["RAW"],
+            war_events=counters["WAR"],
+            waw_events=counters["WAW"],
+            edges_profiled=counters["edges_profiled"],
+            pool=PoolStats(capacity=capacity, acquires=acquires,
+                           grows=acquires),
+            sampling=ctx.sampling,
         )
+        report = ProfileReport(ctx.program, table, store, stats,
+                               ctx.exit_value,
+                               [tuple(v) for v in ctx.output])
+        return _dep_result(report, state["track_war_waw"], ctx.sampling)
 
 
 @dataclass
@@ -173,6 +326,35 @@ class LocalityResult:
         return hits / reuses
 
 
+def _locality_result(stats: LocalityResult) -> AnalysisResult:
+    """Shared rendering for serial finish and the parallel merge."""
+    lines = [
+        "Reuse-distance profile:",
+        f"  accesses           {stats.accesses}",
+        f"  distinct addresses {stats.distinct_addresses}",
+        f"  cold misses        {stats.cold_misses}",
+    ]
+    for capacity in (64, 1024, 16384):
+        lines.append(f"  LRU({capacity:>5}) hit rate "
+                     f"{stats.hit_fraction(capacity):6.1%}")
+    lines.append("  distance histogram (log2 buckets):")
+    for bucket in sorted(stats.histogram):
+        lo = 0 if bucket == 0 else 1 << (bucket - 1)
+        lines.append(f"    >= {lo:>8}: {stats.histogram[bucket]}")
+    return AnalysisResult(
+        analysis="locality",
+        data={
+            "accesses": stats.accesses,
+            "distinct_addresses": stats.distinct_addresses,
+            "cold_misses": stats.cold_misses,
+            "histogram": {str(k): v
+                          for k, v in sorted(stats.histogram.items())},
+        },
+        text="\n".join(lines),
+        payload=stats,
+    )
+
+
 @register
 class LocalityAnalysis(Analysis):
     """Exact LRU reuse-distance histogram (a PROMPT-style analysis).
@@ -191,12 +373,18 @@ class LocalityAnalysis(Analysis):
     name = "locality"
     description = ("Exact LRU reuse-distance histogram over every "
                    "memory access")
+    supports_segments = True
 
     def __init__(self) -> None:
         self._seq = 0
         self._last: dict[int, int] = {}
         self._tree: list[int] = [0]
         self._live = 0
+        #: Per first access of an address: how many distinct addresses
+        #: came before it — in access order. Free to maintain (cold
+        #: path only) and exactly what the cross-segment reuse-distance
+        #: merge needs (``repro.analyses.merging.fold_locality``).
+        self._cold_order: list[tuple[int, int]] = []
         self.stats = LocalityResult()
 
     def _access(self, addr: int, pc: int = 0, timestamp: int = 0) -> None:
@@ -216,6 +404,7 @@ class LocalityAnalysis(Analysis):
         self._live += 1
         if last is None:
             stats.cold_misses += 1
+            self._cold_order.append((addr, len(self._last) - 1))
             return
         # distance = live addresses whose last access falls strictly
         # between `last` and `seq` = prefix(seq - 1) - prefix(last).
@@ -245,31 +434,47 @@ class LocalityAnalysis(Analysis):
     def finish(self, ctx: AnalysisContext) -> AnalysisResult:
         stats = self.stats
         stats.distinct_addresses = len(self._last)
-        lines = [
-            "Reuse-distance profile:",
-            f"  accesses           {stats.accesses}",
-            f"  distinct addresses {stats.distinct_addresses}",
-            f"  cold misses        {stats.cold_misses}",
-        ]
-        for capacity in (64, 1024, 16384):
-            lines.append(f"  LRU({capacity:>5}) hit rate "
-                         f"{stats.hit_fraction(capacity):6.1%}")
-        lines.append("  distance histogram (log2 buckets):")
-        for bucket in sorted(stats.histogram):
-            lo = 0 if bucket == 0 else 1 << (bucket - 1)
-            lines.append(f"    >= {lo:>8}: {stats.histogram[bucket]}")
-        return AnalysisResult(
-            analysis=self.name,
-            data={
-                "accesses": stats.accesses,
-                "distinct_addresses": stats.distinct_addresses,
-                "cold_misses": stats.cold_misses,
-                "histogram": {str(k): v
-                              for k, v in sorted(stats.histogram.items())},
-            },
-            text="\n".join(lines),
-            payload=stats,
+        return _locality_result(stats)
+
+    # -- segment/merge protocol -------------------------------------------
+    # begin_segment: the default (cold start) is exactly right — every
+    # intra-segment distance is already exact, and cross-segment reuses
+    # are reconstructed by the fold from the exports below.
+
+    def export_segment(self, ctx: AnalysisContext) -> AnalysisSegment:
+        return AnalysisSegment(type(self), {
+            "accesses": self._seq,
+            "hist": dict(self.stats.histogram),
+            "order": self._cold_order,
+            "last": dict(self._last),
+        })
+
+    @classmethod
+    def merge_segment_states(cls, acc: dict, part: dict) -> dict:
+        from repro.analyses.merging import LivePositions, fold_locality
+
+        if "live" not in acc:
+            folded = {"accesses": 0, "offset": 0, "cold": 0, "hist": {},
+                      "last": {}, "live": LivePositions()}
+            fold_locality(folded, acc)
+            acc = folded
+        fold_locality(acc, part)
+        return acc
+
+    @classmethod
+    def finalize_segments(cls, state: dict,
+                          ctx: AnalysisContext) -> AnalysisResult:
+        if "live" not in state:
+            state = cls.merge_segment_states(
+                state, {"accesses": 0, "hist": {}, "order": [],
+                        "last": {}})
+        stats = LocalityResult(
+            accesses=state["accesses"],
+            distinct_addresses=len(state["last"]),
+            cold_misses=state["cold"],
+            histogram=dict(state["hist"]),
         )
+        return _locality_result(stats)
 
 
 @dataclass
@@ -286,6 +491,35 @@ class HotAddress:
         return self.reads + self.writes
 
 
+def _hot_result(reads: dict, writes: dict, top: int,
+                ctx: AnalysisContext) -> AnalysisResult:
+    """Shared rendering for serial finish and the parallel merge
+    (naming resolves against the run's final memory either way)."""
+    totals: dict[int, int] = dict(reads)
+    for addr, count in writes.items():
+        totals[addr] = totals.get(addr, 0) + count
+    ranked = sorted(totals, key=lambda a: (-totals[a], a))[:top]
+    rows = [HotAddress(addr=addr,
+                       name=ctx.memory.addr_to_name(addr),
+                       reads=reads.get(addr, 0),
+                       writes=writes.get(addr, 0))
+            for addr in ranked]
+    lines = ["Hottest addresses (reads+writes):"]
+    for row in rows:
+        lines.append(f"  {row.total:>10}  {row.name:<28} "
+                     f"(r={row.reads}, w={row.writes}, "
+                     f"addr={row.addr})")
+    return AnalysisResult(
+        analysis="hot",
+        data={"top": top,
+              "rows": [{"addr": row.addr, "name": row.name,
+                        "reads": row.reads, "writes": row.writes}
+                       for row in rows]},
+        text="\n".join(lines),
+        payload=rows,
+    )
+
+
 @register
 class HotAddressAnalysis(Analysis):
     """Access-count histogram over addresses (contention spotting).
@@ -298,6 +532,7 @@ class HotAddressAnalysis(Analysis):
 
     name = "hot"
     description = "Hottest addresses by read+write count, with names"
+    supports_segments = True
     options = (
         OptionSpec("top", int, 20, "rows to keep"),
     )
@@ -324,27 +559,37 @@ class HotAddressAnalysis(Analysis):
         return totals
 
     def finish(self, ctx: AnalysisContext) -> AnalysisResult:
-        totals = self.address_totals()
-        ranked = sorted(totals, key=lambda a: (-totals[a], a))[:self.top]
-        rows = [HotAddress(addr=addr,
-                           name=ctx.memory.addr_to_name(addr),
-                           reads=self._reads.get(addr, 0),
-                           writes=self._writes.get(addr, 0))
-                for addr in ranked]
-        lines = ["Hottest addresses (reads+writes):"]
-        for row in rows:
-            lines.append(f"  {row.total:>10}  {row.name:<28} "
-                         f"(r={row.reads}, w={row.writes}, "
-                         f"addr={row.addr})")
-        return AnalysisResult(
-            analysis=self.name,
-            data={"top": self.top,
-                  "rows": [{"addr": row.addr, "name": row.name,
-                            "reads": row.reads, "writes": row.writes}
-                           for row in rows]},
-            text="\n".join(lines),
-            payload=rows,
-        )
+        return _hot_result(self._reads, self._writes, self.top, ctx)
+
+    # -- segment/merge protocol (counters are purely additive) ------------
+
+    def export_segment(self, ctx: AnalysisContext) -> AnalysisSegment:
+        return AnalysisSegment(type(self), {"reads": self._reads,
+                                            "writes": self._writes,
+                                            "top": self.top})
+
+    @classmethod
+    def merge_segment_states(cls, acc: dict, part: dict) -> dict:
+        for field_name in ("reads", "writes"):
+            mine = acc[field_name]
+            for addr, count in part[field_name].items():
+                mine[addr] = mine.get(addr, 0) + count
+        return acc
+
+    @classmethod
+    def finalize_segments(cls, state: dict,
+                          ctx: AnalysisContext) -> AnalysisResult:
+        return _hot_result(state["reads"], state["writes"],
+                           state["top"], ctx)
+
+
+def _counts_result(counts: dict) -> AnalysisResult:
+    text = "Event counts: " + ", ".join(
+        f"{k}={v}" for k, v in sorted(counts.items()))
+    # payload is a separate copy: mutating it must not corrupt
+    # what to_dict()/to_json() serialize.
+    return AnalysisResult(analysis="counts", data=counts, text=text,
+                          payload=dict(counts))
 
 
 @register
@@ -353,6 +598,7 @@ class CountingAnalysis(Analysis):
 
     name = "counts"
     description = "Raw event statistics (reads, writes, calls, ...)"
+    supports_segments = True
 
     def __init__(self) -> None:
         self.counts = {"reads": 0, "writes": 0, "calls": 0,
@@ -381,19 +627,57 @@ class CountingAnalysis(Analysis):
         self.counts["frees"] += 1
 
     def finish(self, ctx: AnalysisContext) -> AnalysisResult:
-        counts = dict(self.counts)
-        text = "Event counts: " + ", ".join(
-            f"{k}={v}" for k, v in sorted(counts.items()))
-        # payload is a separate copy: mutating it must not corrupt
-        # what to_dict()/to_json() serialize.
-        return AnalysisResult(analysis=self.name, data=counts, text=text,
-                              payload=dict(counts))
+        return _counts_result(dict(self.counts))
+
+    # -- segment/merge protocol (purely additive) -------------------------
+
+    def export_segment(self, ctx: AnalysisContext) -> AnalysisSegment:
+        return AnalysisSegment(type(self), {"counts": dict(self.counts)})
+
+    @classmethod
+    def merge_segment_states(cls, acc: dict, part: dict) -> dict:
+        mine = acc["counts"]
+        for key, value in part["counts"].items():
+            mine[key] = mine.get(key, 0) + value
+        return acc
+
+    @classmethod
+    def finalize_segments(cls, state: dict,
+                          ctx: AnalysisContext) -> AnalysisResult:
+        return _counts_result(dict(state["counts"]))
 
 
-def _edge_rows(edges: dict, describe) -> list[str]:
+def _edge_rows(edges: dict, describe, tiekey) -> list[str]:
+    # ``tiekey`` totalizes the order: serial and merged replays insert
+    # edges into the dict in different orders, and a ranking that fell
+    # back to insertion order on (-count, min_tdep) ties would make
+    # the rendering depend on how the profile was computed.
     ranked = sorted(edges.values(),
-                    key=lambda e: (-e.count, e.min_tdep))[:8]
+                    key=lambda e: (-e.count, e.min_tdep, tiekey(e)))[:8]
     return [f"  {describe(edge)}" for edge in ranked]
+
+
+def _flat_result(profile: FlatProfile) -> AnalysisResult:
+    edges = {}
+    for (head, tail, kind), edge in sorted(
+            profile.edges.items(),
+            key=lambda item: (item[0][0], item[0][1], item[0][2].value)):
+        edges[f"{head}->{tail}:{kind.value}"] = [edge.min_tdep,
+                                                 edge.count]
+    program = profile.program
+    lines = [f"Flat dependence profile: {len(edges)} static edge(s)"]
+    lines += _edge_rows(
+        profile.edges,
+        lambda e: (f"{program.loc_of(e.head_pc)[0]}->"
+                   f"{program.loc_of(e.tail_pc)[0]} {e.kind.value}: "
+                   f"min Tdep {e.min_tdep}, x{e.count}"),
+        lambda e: (e.head_pc, e.tail_pc, e.kind.value))
+    return AnalysisResult(
+        analysis="flat",
+        data={"edges": edges, "instructions": profile.instructions},
+        text="\n".join(lines),
+        payload=profile,
+    )
 
 
 @register
@@ -409,6 +693,7 @@ class FlatDependenceAnalysis(Analysis):
     name = "flat"
     description = ("Baseline: dependences aggregated by static PC "
                    "pair only")
+    supports_segments = True
 
     def __init__(self) -> None:
         self.tracer: FlatTracer | None = None
@@ -426,26 +711,79 @@ class FlatDependenceAnalysis(Analysis):
         return self.tracer.profile
 
     def finish(self, ctx: AnalysisContext) -> AnalysisResult:
+        return _flat_result(self.tracer.profile)
+
+    # -- segment/merge protocol -------------------------------------------
+    # Flat attribution needs only the head's (pc, t), which the
+    # checkpointed shadow carries — so the seeded tracer attributes
+    # cross-segment pairs locally and nothing is ever deferred.
+
+    def begin_segment(self, program: ProgramIR, memory: Memory,
+                      seed: SegmentSeed) -> None:
+        self.on_start(program, memory)
+        shadow = self.tracer._shadow
+        for addr, write, reads in seed.shadow:
+            shadow[addr] = [write, dict(reads)]
+
+    def export_segment(self, ctx: AnalysisContext) -> AnalysisSegment:
         profile = self.tracer.profile
-        edges = {}
-        for (head, tail, kind), edge in sorted(
-                profile.edges.items(),
-                key=lambda item: (item[0][0], item[0][1], item[0][2].value)):
-            edges[f"{head}->{tail}:{kind.value}"] = [edge.min_tdep,
-                                                     edge.count]
-        program = ctx.program
-        lines = [f"Flat dependence profile: {len(edges)} static edge(s)"]
-        lines += _edge_rows(
-            profile.edges,
-            lambda e: (f"{program.loc_of(e.head_pc)[0]}->"
-                       f"{program.loc_of(e.tail_pc)[0]} {e.kind.value}: "
-                       f"min Tdep {e.min_tdep}, x{e.count}"))
-        return AnalysisResult(
-            analysis=self.name,
-            data={"edges": edges, "instructions": profile.instructions},
-            text="\n".join(lines),
-            payload=profile,
-        )
+        return AnalysisSegment(type(self), {
+            "edges": {key: [edge.min_tdep, edge.count]
+                      for key, edge in profile.edges.items()},
+        })
+
+    @classmethod
+    def merge_segment_states(cls, acc: dict, part: dict) -> dict:
+        mine = acc["edges"]
+        for key, (min_tdep, count) in part["edges"].items():
+            stats = mine.get(key)
+            if stats is None:
+                mine[key] = [min_tdep, count]
+            else:
+                stats[1] += count
+                if min_tdep < stats[0]:
+                    stats[0] = min_tdep
+        return acc
+
+    @classmethod
+    def finalize_segments(cls, state: dict,
+                          ctx: AnalysisContext) -> AnalysisResult:
+        from repro.baselines.flat_profiler import FlatEdge
+
+        profile = FlatProfile(ctx.program)
+        for key in sorted(state["edges"],
+                          key=lambda k: (k[0], k[1], k[2].value)):
+            min_tdep, count = state["edges"][key]
+            profile.edges[key] = FlatEdge(key[0], key[1], key[2],
+                                          min_tdep, count)
+        profile.instructions = ctx.final_time
+        return _flat_result(profile)
+
+
+def _context_result(profile: ContextProfile) -> AnalysisResult:
+    edges = {}
+    for key, edge in sorted(
+            profile.edges.items(),
+            key=lambda item: (item[0][2], item[0][3],
+                              item[0][4].value, item[0][0], item[0][1])):
+        head = ">".join(edge.head_context)
+        tail = ">".join(edge.tail_context)
+        edges[f"{head}|{tail}|{edge.head_pc}->{edge.tail_pc}"
+              f":{edge.kind.value}"] = [edge.min_tdep, edge.count]
+    lines = [f"Context dependence profile: {len(edges)} edge(s)"]
+    lines += _edge_rows(
+        profile.edges,
+        lambda e: (f"{'>'.join(e.head_context)} -> "
+                   f"{'>'.join(e.tail_context)} {e.kind.value}: "
+                   f"min Tdep {e.min_tdep}, x{e.count}"),
+        lambda e: (e.head_pc, e.tail_pc, e.kind.value,
+                   e.head_context, e.tail_context))
+    return AnalysisResult(
+        analysis="context",
+        data={"edges": edges, "instructions": profile.instructions},
+        text="\n".join(lines),
+        payload=profile,
+    )
 
 
 @register
@@ -461,6 +799,7 @@ class ContextDependenceAnalysis(Analysis):
     name = "context"
     description = ("Baseline: dependences attributed to calling "
                    "contexts")
+    supports_segments = True
 
     def __init__(self) -> None:
         self.tracer = ContextSensitiveTracer()
@@ -477,25 +816,82 @@ class ContextDependenceAnalysis(Analysis):
         return self.tracer.profile
 
     def finish(self, ctx: AnalysisContext) -> AnalysisResult:
-        profile = self.tracer.profile
-        edges = {}
-        for key, edge in sorted(
-                profile.edges.items(),
-                key=lambda item: (item[0][2], item[0][3],
-                                  item[0][4].value, item[0][0], item[0][1])):
-            head = ">".join(edge.head_context)
-            tail = ">".join(edge.tail_context)
-            edges[f"{head}|{tail}|{edge.head_pc}->{edge.tail_pc}"
-                  f":{edge.kind.value}"] = [edge.min_tdep, edge.count]
-        lines = [f"Context dependence profile: {len(edges)} edge(s)"]
-        lines += _edge_rows(
-            profile.edges,
-            lambda e: (f"{'>'.join(e.head_context)} -> "
-                       f"{'>'.join(e.tail_context)} {e.kind.value}: "
-                       f"min Tdep {e.min_tdep}, x{e.count}"))
-        return AnalysisResult(
-            analysis=self.name,
-            data={"edges": edges, "instructions": profile.instructions},
-            text="\n".join(lines),
-            payload=profile,
-        )
+        return _context_result(self.tracer.profile)
+
+    # -- segment/merge protocol -------------------------------------------
+
+    def begin_segment(self, program: ProgramIR, memory: Memory,
+                      seed: SegmentSeed) -> None:
+        from repro.analyses.merging import SegmentContextTracer
+
+        segment = SegmentContextTracer(seed)
+        self._segment = segment
+        self.tracer = segment.inner
+        self.on_enter_function = segment.inner.on_enter_function
+        self.on_exit_function = segment.inner.on_exit_function
+        self.on_read = segment.on_read
+        self.on_write = segment.on_write
+        self.on_frame_free = segment.inner.on_frame_free
+        self.on_finish = segment.inner.on_finish
+
+    def export_segment(self, ctx: AnalysisContext) -> AnalysisSegment:
+        segment = self._segment
+        return AnalysisSegment(type(self), {
+            "edges": {key: [edge.min_tdep, edge.count]
+                      for key, edge in
+                      segment.inner.profile.edges.items()},
+            "deferred": segment.deferred,
+            "frontier": segment.export_frontier(),
+        })
+
+    @classmethod
+    def _internalize(cls, state: dict) -> dict:
+        from repro.analyses import merging
+
+        if state["deferred"]:
+            raise AnalysisError(
+                "first segment deferred a dependence pair — it starts "
+                "from pristine state and has no boundary to defer to")
+        frontier: dict = {}
+        merging.update_context_frontier(frontier, state["frontier"])
+        return {"edges": state["edges"], "_frontier": frontier}
+
+    @classmethod
+    def merge_segment_states(cls, acc: dict, part: dict) -> dict:
+        from repro.analyses import merging
+
+        if "_frontier" not in acc:
+            acc = cls._internalize(acc)
+        merging.resolve_deferred_context(part["deferred"],
+                                         acc["_frontier"], acc["edges"])
+        mine = acc["edges"]
+        for key, (min_tdep, count) in part["edges"].items():
+            stats = mine.get(key)
+            if stats is None:
+                mine[key] = [min_tdep, count]
+            else:
+                stats[1] += count
+                if min_tdep < stats[0]:
+                    stats[0] = min_tdep
+        merging.update_context_frontier(acc["_frontier"],
+                                        part["frontier"])
+        return acc
+
+    @classmethod
+    def finalize_segments(cls, state: dict,
+                          ctx: AnalysisContext) -> AnalysisResult:
+        from repro.baselines.context_profiler import ContextEdge
+
+        if "_frontier" not in state:
+            state = cls._internalize(state)
+        profile = ContextProfile()
+        for key in sorted(state["edges"],
+                          key=lambda k: (k[2], k[3], k[4].value,
+                                         k[0], k[1])):
+            min_tdep, count = state["edges"][key]
+            head_ctx, tail_ctx, head_pc, tail_pc, kind = key
+            profile.edges[key] = ContextEdge(head_ctx, tail_ctx,
+                                             head_pc, tail_pc, kind,
+                                             min_tdep, count)
+        profile.instructions = ctx.final_time
+        return _context_result(profile)

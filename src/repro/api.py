@@ -53,6 +53,9 @@ class SessionStats:
     record_hits: int = 0
     live_runs: int = 0
     replay_passes: int = 0
+    #: Replay passes that ran as sharded parallel replays (a subset of
+    #: ``replay_passes``).
+    parallel_passes: int = 0
 
 
 @dataclass
@@ -184,7 +187,8 @@ class Session:
         record_program(program, path, source=source, filename=filename,
                        max_steps=self.options.max_steps,
                        version=self.options.trace_format,
-                       sampling=self.options.sample)
+                       sampling=self.options.sample,
+                       checkpoint_interval=self.options.checkpoints)
         self._traces[key] = path
         self.stats.records += 1
         return path
@@ -249,8 +253,6 @@ class Session:
         trace_path: str | None = None
         live_ctx: AnalysisContext | None = None
         if replayed:
-            from repro.trace.replay import replay_with
-
             program = self.compile(source, filename)
             if live and self._trace_key(source_digest(source)) \
                     not in self._traces:
@@ -261,11 +263,11 @@ class Session:
                     source, filename, live)
             else:
                 trace_path = self.record(source, filename)
-            outcome = replay_with(trace_path, replayed, program)
-            self.stats.replay_passes += 1
+            reports, replay_mode = self._replay(trace_path, program,
+                                                replayed, merged)
             for analysis in replayed:
-                results[analysis.name] = outcome.reports[analysis.name]
-                modes[analysis.name] = "replay"
+                results[analysis.name] = reports[analysis.name]
+                modes[analysis.name] = replay_mode
         if live:
             if live_ctx is None:
                 live_ctx = self._run_live(source, filename, live)
@@ -288,6 +290,42 @@ class Session:
         )
 
     # -- internals ----------------------------------------------------------
+
+    def _replay(self, trace_path: str, program: ProgramIR,
+                replayed: list[Analysis],
+                merged_options: Mapping) -> tuple[dict, str]:
+        """One replay pass over every replayed analysis.
+
+        With ``options.jobs`` set (and every requested analysis
+        implementing the segment protocol), the pass runs as a sharded
+        parallel replay — results are identical to serial, so callers
+        only see the mode label and the wall clock change.
+        """
+        jobs = self.options.jobs
+        self.stats.replay_passes += 1
+        if jobs is not None and jobs != 1:
+            from repro.trace.parallel import (parallel_replay,
+                                              unsupported_analyses)
+
+            names = [analysis.name for analysis in replayed]
+            if not unsupported_analyses(names):
+                outcome = parallel_replay(
+                    trace_path, names, jobs=jobs,
+                    options={name: dict(merged_options.get(name, {}))
+                             for name in names})
+                # The driver ran its own instances (workers, or the
+                # serial fallback); stash results on the session's so
+                # the deprecated describe() surface works either way.
+                for analysis in replayed:
+                    analysis.last_result = outcome.reports[analysis.name]
+                if outcome.mode == "parallel":
+                    self.stats.parallel_passes += 1
+                    return outcome.reports, "parallel"
+                return outcome.reports, "replay"
+        from repro.trace.replay import replay_with
+
+        outcome = replay_with(trace_path, replayed, program)
+        return outcome.reports, "replay"
 
     def _merge_options(self, options: Mapping | None
                        ) -> dict[str, dict[str, Any]]:
@@ -350,7 +388,8 @@ class Session:
         policy = as_policy(self.options.sample)
         writer = TraceWriter(path, source, filename,
                              version=self.options.trace_format,
-                             sampling=policy.spec)
+                             sampling=policy.spec,
+                             checkpoint_interval=self.options.checkpoints)
         recorder = (writer if policy.is_full
                     else SampledTracer(policy, writer))
         ctx = self._run_live(source, filename, analyses,

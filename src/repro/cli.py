@@ -99,7 +99,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             "track_war_waw": not args.raw_only,
         }}
     try:
-        session_options = ProfileOptions(sample=args.sample)
+        session_options = ProfileOptions(sample=args.sample,
+                                         jobs=args.jobs)
     except ValueError as exc:
         raise CliError(str(exc)) from None
     source = _read(args.file)
@@ -214,13 +215,19 @@ def _cmd_record(args: argparse.Namespace) -> int:
 
     out = args.out or (args.file + ".trace")
     policy = _parse_sample(args.sample)
+    if args.checkpoints is not None and args.checkpoints < 0:
+        raise CliError(f"--checkpoints must be >= 0, "
+                       f"got {args.checkpoints}")
     result = record_source(_read(args.file), out, filename=args.file,
-                           version=args.format, sampling=policy)
+                           version=args.format, sampling=policy,
+                           checkpoint_interval=args.checkpoints)
     sampled = ("" if policy.is_full
                else f", sampled {policy.spec}")
+    seams = (f", {result.checkpoints} checkpoint(s)"
+             if result.checkpoints else "")
     print(f"recorded {result.events} events ({result.trace_bytes} bytes, "
           f"{result.final_time} instructions, format v{result.version}"
-          f"{sampled}) -> {result.path}")
+          f"{sampled}{seams}) -> {result.path}")
     print(f"[exit {result.exit_value}; {result.wall_seconds:.3f}s]",
           file=sys.stderr)
     return 0
@@ -259,6 +266,11 @@ def _cmd_info(args: argparse.Namespace) -> int:
         f"{EVENT_NAMES.get(etype, f'type{etype}')}={counts[etype]}"
         for etype in sorted(counts))
     print(f"events:     {total} ({by_name})")
+    if footer.checkpoints:
+        count = len(footer.checkpoints)
+        stride = total // (count + 1)
+        print(f"checkpoints:{count} shard seam(s), "
+              f"~{stride} events apart (parallel replay ready)")
     print(f"time:       {footer.final_time} instructions")
     print(f"exit:       {footer.exit_value}; "
           f"{len(footer.output)} output line(s)")
@@ -277,6 +289,26 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
+    if args.parallel or args.jobs is not None:
+        from repro.trace.parallel import parallel_replay
+
+        if args.jobs is not None and args.jobs < 0:
+            raise CliError(f"--jobs must be >= 0, got {args.jobs}")
+        outcome = parallel_replay(args.trace, args.analysis,
+                                  jobs=args.jobs)
+        ctx = outcome.context
+        if outcome.mode == "parallel":
+            how = (f"across {outcome.jobs} worker(s), "
+                   f"{len(outcome.plan.segments)} segment(s), "
+                   f"{outcome.plan.source} checkpoints")
+        else:
+            how = f"serially ({outcome.fallback_reason})"
+        print(f"replayed {ctx.events} events ({ctx.final_time} "
+              f"instructions) through {len(outcome.reports)} "
+              f"analysis(es) {how} in {ctx.wall_seconds:.3f}s")
+        print()
+        print(outcome.describe())
+        return 0
     from repro.trace import replay_trace
 
     outcome = replay_trace(args.trace, args.analysis)
@@ -307,7 +339,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                                 sampling=policy.spec,
                                 version=args.format)
     print(report.describe())
-    failed = [r for r in report.records + report.replays if not r.ok]
+    failed = report.failures()
     if args.bench:
         from repro.bench.harness import trace_bench
 
@@ -337,6 +369,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             for name, phases in report.by_name().items()
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
+    if failed:
+        names = ", ".join(
+            f"{r.job.kind} {r.job.trace_path if r.job.kind == 'replay' else r.job.name}"
+            for r in failed)
+        print(f"error: {len(failed)} batch job(s) failed: {names}",
+              file=sys.stderr)
     return 1 if failed else 0
 
 
@@ -381,6 +419,43 @@ def _cmd_bench_sampling(args: argparse.Namespace) -> int:
               f"/{len(data['rows'])} workload(s): "
               f"{', '.join(met['workloads_meeting_target']) or '-'}")
     print(f"\nwritten to {args.out}")
+    return 0
+
+
+def _cmd_bench_parallel(args: argparse.Namespace) -> int:
+    from repro.bench.harness import parallel_bench
+    from repro.workloads import names as workload_names
+
+    known = workload_names()
+    names = ([n.strip() for n in args.workloads.split(",") if n.strip()]
+             if args.workloads else known)
+    unknown = [n for n in names if n not in known]
+    if unknown:
+        raise CliError(f"unknown workload(s): {', '.join(unknown)} "
+                       f"(known: {', '.join(known)})")
+    if args.jobs <= 0:
+        raise CliError(f"--jobs must be positive, got {args.jobs}")
+    data = parallel_bench(names=names, scale=args.scale,
+                          jobs=args.jobs, repeats=args.repeats,
+                          out_path=args.out)
+    for row in data["rows"]:
+        flag = "" if row["results_identical_to_serial"] else \
+            "  RESULTS DIVERGED"
+        print(f"{row['name']:12s} {row['events']:>9} events  "
+              f"serial {row['serial_seconds']:.2f}s  "
+              f"{row['segments']:>2} segment(s)  "
+              f"speedup@{data['jobs']} {row['speedup']:.2f}x "
+              f"(wall {row['measured_wall_speedup']:.2f}x on "
+              f"{data['bench_cpus']} cpu(s)){flag}")
+    summary = data["summary"]
+    print(f"\n>=2x at {data['jobs']} workers on "
+          f"{len(summary['workloads_at_2x'])}/{len(data['rows'])} "
+          f"workload(s): {', '.join(summary['workloads_at_2x']) or '-'}")
+    print(f"written to {args.out}")
+    if not summary["all_results_identical"]:
+        print("error: parallel results diverged from serial",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -444,8 +519,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="execute the program instead of replaying "
                             "a recording")
     p_ana.add_argument("--pool-size", type=int, default=None,
-                       help="construct-pool size (dep analysis; "
-                            "default 4096)")
+                       help="compatibility no-op (dep analysis; node "
+                            "allocation is GC-backed and unbounded)")
     p_ana.add_argument("--raw-only", action="store_true",
                        help="skip WAR/WAW tracking (dep analysis)")
     p_ana.add_argument("--sample", default=None, metavar="SPEC",
@@ -453,6 +528,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "policy (interval:N, burst:K/N, "
                             "reservoir:K[@SEED]); replayed results "
                             "become lower-confidence hints")
+    p_ana.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="replay through N parallel workers "
+                            "(0 = one per CPU; results identical to "
+                            "serial; live analyses are unaffected)")
     p_ana.set_defaults(func=_cmd_analyze)
 
     p_lst = sub.add_parser("analyses",
@@ -515,6 +594,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_rec.add_argument("--format", type=int, choices=(1, 2), default=2,
                        help="trace schema version to write (default 2, "
                             "block-compressed)")
+    p_rec.add_argument("--checkpoints", type=int, default=None,
+                       metavar="N",
+                       help="events between checkpoint shard seams for "
+                            "parallel replay (v2 only; 0 disables; "
+                            "default ~50k)")
     p_rec.set_defaults(func=_cmd_record)
 
     p_rep = sub.add_parser("replay",
@@ -523,6 +607,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--analysis", default="dep",
                        help="comma-separated registered analyses "
                             "(default: dep)")
+    p_rep.add_argument("--parallel", action="store_true",
+                       help="shard the replay across worker processes "
+                            "(results identical to serial; falls back "
+                            "to one pass when the trace has no seams)")
+    p_rep.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker count for --parallel (implies it; "
+                            "0 = one per CPU)")
     p_rep.set_defaults(func=_cmd_replay)
 
     p_info = sub.add_parser(
@@ -572,6 +663,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_bs.add_argument("--out", default="BENCH_sampling.json",
                       help="artifact path")
     p_bs.set_defaults(func=_cmd_bench_sampling)
+
+    p_bp = sub.add_parser(
+        "bench-parallel",
+        help="measure sharded parallel replay vs one serial pass "
+             "(writes BENCH_parallel.json)")
+    p_bp.add_argument("--workloads", default="",
+                      help="comma-separated workload names "
+                           "(default: all Table III workloads)")
+    p_bp.add_argument("--scale", type=float, default=2.0)
+    p_bp.add_argument("--jobs", type=int, default=4,
+                      help="worker count to bench (default 4)")
+    p_bp.add_argument("--repeats", type=int, default=2,
+                      help="timing repetitions (minimum kept)")
+    p_bp.add_argument("--out", default="BENCH_parallel.json",
+                      help="artifact path")
+    p_bp.set_defaults(func=_cmd_bench_parallel)
 
     p_wl = sub.add_parser("workloads", help="list bundled benchmarks")
     p_wl.add_argument("--extra", action="store_true",

@@ -27,8 +27,11 @@ from repro.runtime.tracing import NullTracer
 class ProfileOptions:
     """Tuning knobs for a profiling run."""
 
-    #: Initial construct-pool size (the paper pre-allocates 1M entries;
-    #: the pool grows on demand either way).
+    #: Accepted for compatibility; since the tracer moved to
+    #: GC-backed node allocation (``repro.core.pool.NodeAllocator``,
+    #: unbounded, reclaimed by the runtime) this no longer bounds
+    #: anything — profiles always get the paper's infinite-pool
+    #: semantics.
     pool_size: int = 4096
     #: Also profile WAR/WAW dependences (paper default). Disabling gives
     #: the RAW-only ablation used in the benchmarks.
@@ -45,6 +48,15 @@ class ProfileOptions:
     sample: str | None = None
     #: Trace schema version new recordings are written as (1 or 2).
     trace_format: int | None = None
+    #: Parallel replay worker count. ``None``/1 = serial; 0 = one per
+    #: CPU; N > 1 = that many processes. Replayed analyses that
+    #: implement the segment protocol then run as a sharded parallel
+    #: pass with results identical to serial (live runs are never
+    #: parallelized — there is only one execution).
+    jobs: int | None = None
+    #: Events between checkpoint shard seams in new recordings
+    #: (v2 only). ``None`` = the writer default, 0 = no checkpoints.
+    checkpoints: int | None = None
 
     def __post_init__(self) -> None:
         # Fail at construction: a non-positive pool size used to surface
@@ -60,6 +72,11 @@ class ProfileOptions:
         from repro.trace.events import (DEFAULT_TRACE_VERSION,
                                         SUPPORTED_TRACE_VERSIONS)
 
+        if self.jobs is not None and self.jobs < 0:
+            raise ValueError(f"jobs must be >= 0, got {self.jobs}")
+        if self.checkpoints is not None and self.checkpoints < 0:
+            raise ValueError(
+                f"checkpoints must be >= 0, got {self.checkpoints}")
         # Normalize the spec early so equal configs cache-key equally
         # ("INTERVAL:100 " and "interval:100" are one policy).
         self.sample = parse_sample_spec(self.sample).spec

@@ -44,6 +44,12 @@ class EdgeStats:
     count: int = 1
     #: Symbolic name of the first conflicting address observed (reports).
     var_hint: str = ""
+    #: Tail timestamp of the first observation. Never serialized; the
+    #: parallel-replay merge uses it to keep ``var_hint`` at the
+    #: serially-first observation when partial profiles fold (tail
+    #: timestamps are unique per edge, so "smallest first_t" is exactly
+    #: "observed first").
+    first_t: int = 0
 
     def observe(self, tdep: int) -> None:
         self.count += 1

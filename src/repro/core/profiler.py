@@ -11,6 +11,20 @@ The validity test ``Tenter <= Th <= Texit`` simultaneously rejects
 active constructs (``Texit`` is reset to 0 on entry) and recycled nodes
 (a recycled node's ``Tenter`` exceeds every timestamp observed before
 its reuse — the argument of the paper's Theorem 1).
+
+Since the tracer moved to garbage-collected node allocation
+(:class:`repro.core.pool.NodeAllocator`), recycling never actually
+happens: a node referenced by shadow memory keeps its true
+``Tenter``/``Texit`` forever, so the walk sees exactly the completed
+ancestors covering the head access and the profile is a pure function
+of the event stream — the determinism sharded parallel replay
+(:mod:`repro.trace.parallel`) relies on to merge per-segment profiles
+bit-identically to a serial pass. The validity test is kept in its
+recycling-tolerant form because the paper's fixed-pool discipline
+(:class:`repro.core.pool.ConstructPool`) remains a supported
+allocator and Theorem 1 still bounds what recycling under it can
+change: only edges whose ``Tdep`` already exceeds the head construct's
+duration.
 """
 
 from __future__ import annotations
@@ -55,7 +69,8 @@ class DependenceProfiler:
             stats = profile.edges.get(key)
             if stats is None:
                 profile.edges[key] = EdgeStats(head_pc, tail_pc, kind,
-                                               tdep, 1, name_of())
+                                               tdep, 1, name_of(),
+                                               first_t=tail_time)
             else:
                 stats.observe(tdep)
             updated += 1

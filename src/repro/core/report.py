@@ -177,7 +177,13 @@ class ConstructView:
             for edge in self.profile.edges_of(kind):
                 selected.append((edge.min_tdep <= bound, edge))
         if violating_first:
-            selected.sort(key=lambda pair: (not pair[0], pair[1].min_tdep))
+            # Total order: the tail of the key pins ties that would
+            # otherwise fall back to dict insertion order, which
+            # differs between a serial replay and a parallel merge.
+            kind_rank = {kind: rank for rank, kind in enumerate(kinds)}
+            selected.sort(key=lambda pair: (
+                not pair[0], pair[1].min_tdep, kind_rank[pair[1].kind],
+                pair[1].head_pc, pair[1].tail_pc))
         lines = []
         for is_violating, edge in selected[:limit]:
             head_line = program.loc_of(edge.head_pc)[0]

@@ -83,6 +83,23 @@ class ShadowMemory:
         entry[1] = {}
         return old_write, reads
 
+    def seed_entry(self, addr: int, write: Access | None,
+                   reads: dict[int, tuple]) -> None:
+        """Install checkpointed pre-segment state for ``addr``.
+
+        Parallel segment replay seeds each tracked address with its
+        last write and per-pc reads (nodes replaced by a boundary
+        sentinel the segment tracer defers on); from then on the
+        ordinary ``on_read``/``on_write``/``clear_range`` discipline
+        applies unchanged.
+        """
+        self._entries[addr] = [write, reads]
+        bucket = self._buckets.get(addr >> _BUCKET_BITS)
+        if bucket is None:
+            self._buckets[addr >> _BUCKET_BITS] = {addr}
+        else:
+            bucket.add(addr)
+
     def clear_range(self, lo: int, hi: int) -> None:
         """Forget all state for addresses in ``[lo, hi)``.
 

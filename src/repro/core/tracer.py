@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.analysis.constructs import ConstructTable
 from repro.core.indexing import IndexingStack
-from repro.core.pool import ConstructPool
+from repro.core.pool import NodeAllocator
 from repro.core.profile_data import DepKind, ProfileStore
 from repro.core.profiler import DependenceProfiler
 from repro.core.shadow import ShadowMemory
@@ -24,7 +24,12 @@ class AlchemistTracer(Tracer):
     def __init__(self, table: ConstructTable, pool_size: int = 4096,
                  track_war_waw: bool = True):
         self.table = table
-        self.pool = ConstructPool(pool_size)
+        # GC-backed allocation: nodes stay addressable while referenced,
+        # so profiles equal the infinite-pool semantics and are a pure
+        # function of the event stream (see repro.core.pool docstring).
+        # ``pool_size`` is accepted for compatibility; the allocator is
+        # unbounded and the runtime reclaims unreferenced instances.
+        self.pool = NodeAllocator(pool_size)
         self.store = ProfileStore()
         self.stack = IndexingStack(table, self.pool, self.store)
         self.shadow = ShadowMemory()

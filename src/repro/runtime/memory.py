@@ -160,6 +160,43 @@ class Memory:
         self.heap_frees += 1
         return base, base + size
 
+    def restore_heap(self, top: int, next_id: int,
+                     blocks: list, free_by_size: dict,
+                     allocs: int = 0, frees: int = 0) -> None:
+        """Adopt a checkpointed heap layout (parallel segment replay).
+
+        ``blocks`` is ``[(base, size, id), ...]`` for the live blocks
+        (``id`` numbers the ``heap#N`` name); ``free_by_size`` maps
+        size -> list of freed bases *in original free order* — the
+        recycler pops from the tail, so order is allocation-visible.
+        After this, ``heap_alloc``/``heap_free`` behave exactly as they
+        would had the original allocation history run in-process.
+        """
+        self.heap_top = top
+        self._next_heap_id = next_id
+        self._heap_blocks = {}
+        self._heap_bases = []
+        for base, size, block_id in blocks:
+            self._heap_blocks[base] = size
+            self._heap_bases.append(base)
+            self.allocations[base] = (size, f"heap#{block_id}")
+        self._heap_bases.sort()
+        self._free_by_size = {int(size): list(bases)
+                              for size, bases in free_by_size.items()
+                              if bases}
+        self.heap_allocs = allocs
+        self.heap_frees = frees
+        if top > len(self.cells):
+            # Recycled allocations zero their cells in place; the
+            # restored address space must reach the checkpointed top.
+            self.cells.extend([0] * (top - len(self.cells)))
+
+    def set_last_popped(self, fn: FunctionIR, base: int) -> None:
+        """Restore the popped-frame marker (a checkpoint can land
+        between a frame pop and the caller's return-value read, and
+        ``addr_to_name`` must still say ``retval(callee)`` there)."""
+        self.last_popped = FrameRegion(base, fn.frame_size, fn)
+
     def heap_block_containing(self, addr: int) -> tuple[int, int] | None:
         """The live heap block ``(base, size)`` containing ``addr``."""
         index = bisect_right(self._heap_bases, addr) - 1

@@ -152,6 +152,14 @@ class BatchReport:
             merged.setdefault(result.job.name, {})["replay"] = result
         return merged
 
+    def failures(self) -> list[BatchResult]:
+        """Every failed job (record or replay), in submission order —
+        the batch driver's exit code and failure summary hang off
+        this, so a worker error can never be silently swallowed into
+        a partial-results report."""
+        return [result for result in self.records + self.replays
+                if not result.ok]
+
     def describe(self) -> str:
         lines = [f"batch: {len(self.records)} workload(s), "
                  f"{self.workers} worker(s), "
@@ -175,6 +183,13 @@ class BatchReport:
                 else:
                     parts.append(f"; replay FAILED: {replay.error}")
             lines.append("".join(parts))
+        failures = self.failures()
+        if failures:
+            lines.append(f"FAILED ({len(failures)} job(s)):")
+            for result in failures:
+                what = (result.job.trace_path if result.job.kind == "replay"
+                        else result.job.name)
+                lines.append(f"  {result.job.kind} {what}: {result.error}")
         return "\n".join(lines)
 
 

@@ -23,9 +23,14 @@ and groups records into independently zlib-compressed blocks framed
 as ``<II`` (compressed length, uncompressed length). Per-type deltas
 make sequential address sweeps and repeated PCs collapse to one or two
 bytes before compression; zlib then squeezes the remaining structure.
-A block boundary never splits a record, but the per-type delta state
-deliberately carries *across* blocks (blocks are a framing unit, not a
-seek unit — traces are streamed start to end).
+A block boundary never splits a record, and the per-type delta state
+deliberately carries *across* blocks (blocks are primarily a framing
+unit — traces stream start to end). Block boundaries double as shard
+seams, though: both sides expose their delta state (``state()`` on the
+encoder, the ``state`` constructor argument on the decoder), so a
+checkpoint can capture the deltas at a boundary and a later reader can
+seek to that block and resume decoding mid-file
+(:mod:`repro.trace.shards`).
 
 Decoding errors follow the reader's contract: a file that ends inside
 a block frame or whose decompressed payload stops mid-record raises
@@ -129,6 +134,11 @@ class V1Encoder:
         self._buffer.clear()
         return out
 
+    def state(self) -> dict:
+        """v1 records are stateless; only the clock carries across a
+        seam (the checkpoint stores it separately)."""
+        return {}
+
 
 class V2Encoder:
     """Delta/varint encoder; ``take()`` hands back one framed block."""
@@ -182,6 +192,21 @@ class V2Encoder:
         raw.clear()
         return frame
 
+    def state(self) -> dict:
+        """Sparse snapshot of the per-type delta state, JSON-able.
+
+        Meaningful only when nothing is pending (i.e. right after
+        ``take()``): the checkpoint machinery captures it at a block
+        boundary and hands it to a decoder's ``state`` argument so
+        decoding can resume at that boundary.
+        """
+        prev = {}
+        prev_a, prev_b = self._prev_a, self._prev_b
+        for etype in range(256):
+            if prev_a[etype] or prev_b[etype]:
+                prev[str(etype)] = [prev_a[etype], prev_b[etype]]
+        return {"prev": prev}
+
 
 def make_encoder(version: int,
                  block_bytes: int = DEFAULT_BLOCK_BYTES):
@@ -201,18 +226,21 @@ class V1Decoder:
 
     Exposes :attr:`records` (count consumed) afterwards so the caller
     can compute the footer's file offset — v1 has no framing, so the
-    offset is arithmetic over the record count.
+    offset is arithmetic over the record count. ``state`` (from a
+    checkpoint) seeds the clock when decoding resumes mid-file.
     """
 
-    def __init__(self, handle: BinaryIO, path: str) -> None:
+    def __init__(self, handle: BinaryIO, path: str,
+                 state: dict | None = None) -> None:
         self._handle = handle
         self.path = path
         self.records = 0
+        self._time0 = state.get("time", 0) if state else 0
 
     def events(self) -> Iterator[Event]:
         handle = self._handle
         unpack_chunk = RECORD.iter_unpack
-        time = 0
+        time = self._time0
         records = 0
         while True:
             # A chunk near the end of the file may contain footer bytes
@@ -242,22 +270,41 @@ class V2Decoder:
 
     Tracks :attr:`blocks`, :attr:`compressed_bytes` and
     :attr:`raw_bytes` for the ``info`` verb's size accounting.
+
+    ``state`` seeds the per-type deltas and the clock so decoding can
+    start at a mid-file block boundary (parallel segment replay).
+    ``block_hook``, if set, is called right before each block header is
+    read as ``hook(offset, records, time, prev_a, prev_b)`` — the exact
+    state a checkpoint at that boundary must capture; the shard scanner
+    uses it to checkpoint traces that were recorded without embedded
+    checkpoints.
     """
 
-    def __init__(self, handle: BinaryIO, path: str) -> None:
+    def __init__(self, handle: BinaryIO, path: str,
+                 state: dict | None = None,
+                 block_hook=None) -> None:
         self._handle = handle
         self.path = path
         self.records = 0
         self.blocks = 0
         self.compressed_bytes = 0
         self.raw_bytes = 0
+        self.block_hook = block_hook
+        self._time0 = state.get("time", 0) if state else 0
+        self._prev0 = dict(state.get("prev", {})) if state else {}
 
     def events(self) -> Iterator[Event]:
         handle = self._handle
         prev_a = [0] * 256
         prev_b = [0] * 256
-        time = 0
+        for etype, (a, b) in self._prev0.items():
+            prev_a[int(etype)] = a
+            prev_b[int(etype)] = b
+        time = self._time0
         while True:
+            if self.block_hook is not None:
+                self.block_hook(handle.tell(), self.records, time,
+                                prev_a, prev_b)
             frame = handle.read(BLOCK_HEADER_SIZE)
             if not frame:
                 raise TraceTruncatedError(
@@ -327,11 +374,12 @@ class V2Decoder:
                 self.records = records
 
 
-def make_decoder(version: int, handle: BinaryIO, path: str):
+def make_decoder(version: int, handle: BinaryIO, path: str,
+                 state: dict | None = None, block_hook=None):
     if version == 1:
-        return V1Decoder(handle, path)
+        return V1Decoder(handle, path, state)
     if version == 2:
-        return V2Decoder(handle, path)
+        return V2Decoder(handle, path, state, block_hook)
     raise TraceError(f"cannot decode trace schema version {version}")
 
 

@@ -80,6 +80,14 @@ EV_WRITE = 6    #: a = address, b = pc
 EV_ALLOC = 7    #: a = block base, b = size
 EV_FREE = 8     #: a = range lo, b = range length (hi - lo); no timestamp
 EV_FINISH = 9   #: end of event stream
+#: Shard seam marker (v2 only): a = checkpoint ordinal. The marker is
+#: the last record of its compressed block; the matching snapshot —
+#: frame stack, construct stack, shadow memory, heap layout, codec
+#: deltas, and the absolute file offset of the next block — rides in
+#: the footer's ``checkpoints`` table so parallel replay can seek
+#: straight to the seam and resume decoding mid-file. Replay dispatch
+#: ignores the marker; it carries no analysis-visible information.
+EV_CHECKPOINT = 10
 
 EVENT_NAMES = {
     EV_ENTER: "enter",
@@ -91,6 +99,7 @@ EVENT_NAMES = {
     EV_ALLOC: "alloc",
     EV_FREE: "free",
     EV_FINISH: "finish",
+    EV_CHECKPOINT: "checkpoint",
 }
 
 _U32_MAX = (1 << 32) - 1
@@ -152,6 +161,11 @@ class TraceFooter:
     output: list[list[int]] = field(default_factory=list)
     events: int = 0
     final_time: int = 0
+    #: Checkpoint snapshots (JSON payloads, one per CHECKPOINT marker
+    #: in the event stream, in stream order) — see
+    #: :mod:`repro.trace.shards` for the payload schema. Empty for
+    #: traces recorded without checkpointing and for v1 traces.
+    checkpoints: list[dict] = field(default_factory=list)
 
     def to_bytes(self) -> bytes:
         payload = json.dumps(self.__dict__, separators=(",", ":"))

@@ -1,0 +1,340 @@
+"""Parallel sharded replay: fan trace segments across a process pool.
+
+Serial replay walks the whole event stream through every analysis in
+one process, so wall-clock scales with trace length no matter how many
+cores the box has. This driver splits a checkpointed trace into
+independently replayable segments (:mod:`repro.trace.shards`), runs
+the full registered-analysis set over each segment in a worker
+process — each worker seeks straight to its seam, reconstructs memory
+and decoder state from the checkpoint, and replays only its slice —
+then folds the per-segment :class:`~repro.analyses.base.AnalysisSegment`
+results left-to-right via their ``merge(other)`` contract and
+finalizes. The merged results are bit-identical to a serial pass (the
+differential parity suite asserts ``to_dict()`` equality for every
+registered analysis on every bundled workload).
+
+Fallbacks are graceful and explicit: a trace with no usable seams, a
+single-job request, or an analysis that does not implement the segment
+protocol all degrade to one serial pass, reported in
+:attr:`ParallelOutcome.mode`.
+
+When serial is still faster: segment workers pay a fork, a program
+compile, checkpoint reconstruction, and a pickled export each, so tiny
+traces (fewer than ~100k events) or near-free analyses (``counts``)
+rarely gain; the win is on long traces with expensive analyses, where
+replay cost dominates and scales down with the worker count (see
+``docs/parallel-replay.md`` and ``BENCH_parallel.json``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.analyses import (AnalysisContext, AnalysisResult,
+                            get_analysis, make_analyses, parse_spec)
+from repro.analyses.base import AnalysisSegment, SegmentSeed
+from repro.trace.events import (EV_ALLOC, EV_BLOCK, EV_BRANCH,
+                                EV_CHECKPOINT, EV_ENTER, EV_EXIT,
+                                EV_FINISH, EV_FREE, EV_READ, EV_WRITE,
+                                TraceError)
+from repro.trace.reader import TraceReader
+from repro.trace.replay import replay_with
+from repro.trace.shards import (Checkpoint, ShardPlan, plan_shards,
+                                restore_memory, snapshot_memory)
+
+#: Compiled programs per worker process, keyed by (path, digest) — a
+#: worker typically replays several segments of the same trace.
+_PROGRAM_CACHE: dict[tuple[str, str], Any] = {}
+
+#: Cache bound: a long-lived process replaying many distinct traces
+#: must not accumulate compiled programs forever.
+_PROGRAM_CACHE_LIMIT = 16
+
+
+def unsupported_analyses(names: Iterable[str]) -> list[str]:
+    """Requested analyses that cannot run under sharded replay."""
+    return [name for name in parse_spec(names)
+            if not get_analysis(name).supports_segments]
+
+
+def _compiled(path: str, header) -> Any:
+    from repro.ir.lowering import compile_source
+
+    key = (path, header.digest)
+    program = _PROGRAM_CACHE.get(key)
+    if program is None:
+        program = compile_source(header.source, header.filename)
+        if len(_PROGRAM_CACHE) >= _PROGRAM_CACHE_LIMIT:
+            _PROGRAM_CACHE.pop(next(iter(_PROGRAM_CACHE)))
+        _PROGRAM_CACHE[key] = program
+    return program
+
+
+def run_segment(job: dict) -> dict:
+    """Worker entry point: replay one segment, export partial states.
+
+    Top-level so it pickles; ``job`` is a plain dict (path, checkpoint
+    payload, end index, analysis names/options, flags).
+    """
+    start = _time.perf_counter()
+    cpu_start = _time.process_time()
+    for module in job.get("plugin_modules", ()):
+        import importlib
+
+        importlib.import_module(module)
+    path = job["path"]
+    checkpoint = Checkpoint.from_payload(job["checkpoint"])
+    budget = (None if job["end_index"] is None
+              else job["end_index"] - checkpoint.index)
+    with TraceReader(path) as reader:
+        header = reader.header
+        program = _compiled(path, header)
+        memory = restore_memory(program, header, checkpoint)
+        functions = [program.functions[name]
+                     for name in header.functions]
+        seed = SegmentSeed(
+            index=checkpoint.index,
+            time=checkpoint.time,
+            shadow=list(checkpoint.shadow_entries()),
+            construct_stack=[tuple(entry)
+                             for entry in checkpoint.cstack],
+            call_stack=[header.functions[i]
+                        for i in checkpoint.frames],
+            is_first=checkpoint.index == 0,
+            is_last=job["end_index"] is None,
+        )
+        analyses = make_analyses(job["analyses"], job.get("options"))
+        for analysis in analyses:
+            analysis.begin_segment(program, memory, seed)
+        from repro.analyses import live_hooks
+
+        on_enter = live_hooks(analyses, "on_enter_function")
+        on_exit = live_hooks(analyses, "on_exit_function")
+        on_block = live_hooks(analyses, "on_block_enter")
+        on_branch = live_hooks(analyses, "on_branch")
+        on_read = live_hooks(analyses, "on_read")
+        on_write = live_hooks(analyses, "on_write")
+        on_alloc = live_hooks(analyses, "on_heap_alloc")
+        on_free = live_hooks(analyses, "on_frame_free")
+        on_finish = live_hooks(analyses, "on_finish")
+
+        push_frame = memory.push_frame
+        pop_frame = memory.pop_frame
+        heap_alloc = memory.heap_alloc
+        heap_free = memory.heap_free
+        heap_base = memory.heap_base
+
+        consumed = 0
+        final_time = 0
+        for etype, a, b, t in reader.events_from(
+                checkpoint.offset, checkpoint.decoder_state()):
+            if etype == EV_READ:
+                for hook in on_read:
+                    hook(a, b, t)
+            elif etype == EV_WRITE:
+                for hook in on_write:
+                    hook(a, b, t)
+            elif etype == EV_BLOCK:
+                for hook in on_block:
+                    hook(a, t)
+            elif etype == EV_BRANCH:
+                for hook in on_branch:
+                    hook(a, b, t)
+            elif etype == EV_ENTER:
+                push_frame(functions[a])
+                name = functions[a].name
+                for hook in on_enter:
+                    hook(name, b, t)
+            elif etype == EV_EXIT:
+                name = functions[a].name
+                for hook in on_exit:
+                    hook(name, t)
+                pop_frame()
+            elif etype == EV_FREE:
+                if b and a >= heap_base:
+                    heap_free(a)
+                hi = a + b
+                for hook in on_free:
+                    hook(a, hi)
+            elif etype == EV_ALLOC:
+                base = heap_alloc(b)
+                if base != a:
+                    raise TraceError(
+                        f"heap replay diverged in segment: alloc "
+                        f"returned {base}, trace recorded {a}")
+                for hook in on_alloc:
+                    hook(a, b, t)
+            elif etype == EV_FINISH:
+                final_time = t
+                for hook in on_finish:
+                    hook(t)
+            elif etype == EV_CHECKPOINT:
+                pass
+            else:
+                raise TraceError(f"unknown event type {etype}")
+            consumed += 1
+            if budget is not None and consumed >= budget:
+                break
+        if budget is not None and consumed < budget:
+            raise TraceError(
+                f"{path}: segment at event {checkpoint.index} ended "
+                f"after {consumed} of {budget} events (truncated "
+                "trace?)")
+
+        ctx = AnalysisContext(program=program, memory=memory,
+                              final_time=final_time, mode="replay")
+        exports = {analysis.name: analysis.export_segment(ctx)
+                   for analysis in analyses}
+        memory_snapshot = (snapshot_memory(memory, header).to_payload()
+                           if job["end_index"] is None else None)
+    return {
+        "ordinal": job["ordinal"],
+        "exports": exports,
+        "events": consumed,
+        "memory": memory_snapshot,
+        "seconds": _time.perf_counter() - start,
+        # CPU time is the honest per-segment cost when workers contend
+        # for cores (wall time on an oversubscribed box includes the
+        # scheduler's time-slicing, which is not the segment's work).
+        "cpu_seconds": _time.process_time() - cpu_start,
+    }
+
+
+@dataclass
+class ParallelOutcome:
+    """All results of one (possibly parallel) replay pass."""
+
+    reports: dict[str, AnalysisResult]
+    context: AnalysisContext
+    plan: ShardPlan
+    jobs: int
+    #: "parallel" or "serial" (fallback; ``fallback_reason`` says why).
+    mode: str
+    fallback_reason: str = ""
+    wall_seconds: float = 0.0
+    segment_seconds: list[float] = field(default_factory=list)
+    #: Per-segment worker CPU time (excludes time-slicing waits when
+    #: workers outnumber cores; what capacity planning should use).
+    segment_cpu_seconds: list[float] = field(default_factory=list)
+    #: Parent-side fold + finalize time (the serial tail of the run).
+    merge_seconds: float = 0.0
+
+    @property
+    def results(self) -> dict[str, Any]:
+        return {name: report.payload if report.payload is not None
+                else report.data
+                for name, report in self.reports.items()}
+
+    def describe(self) -> str:
+        return "\n\n".join(report.text for report in self.reports.values())
+
+
+def parallel_replay(path: str | os.PathLike,
+                    analyses: Iterable[str] | str = ("dep",),
+                    jobs: int | None = None,
+                    options: dict | None = None,
+                    interval: int | None = None,
+                    plugin_modules: tuple[str, ...] = (),
+                    allow_scan: bool = True) -> ParallelOutcome:
+    """Replay ``path`` through the named analyses across ``jobs``
+    workers; falls back to one serial pass when sharding cannot help
+    (and says so in the outcome).
+
+    ``interval`` overrides the scan checkpoint interval for traces
+    recorded without embedded seams; ``plugin_modules`` are imported
+    in each worker before analyses resolve (the registry of a spawned
+    process only knows the builtins).
+    """
+    from repro.trace.shards import DEFAULT_CHECKPOINT_INTERVAL
+
+    path = os.fspath(path)
+    names = parse_spec(analyses)
+    if jobs is None or jobs <= 0:
+        jobs = os.cpu_count() or 1
+    start = _time.perf_counter()
+    unsupported = unsupported_analyses(names)
+    if unsupported:
+        plan = ShardPlan(path=path, version=0, segments=[],
+                         source="serial")
+        return _serial_fallback(
+            path, names, options, plan, jobs, start,
+            "analysis without segment support: "
+            + ", ".join(unsupported))
+    plan = plan_shards(path, jobs,
+                       interval=(interval if interval
+                                 else DEFAULT_CHECKPOINT_INTERVAL),
+                       allow_scan=allow_scan)
+    if not plan.is_parallel:
+        return _serial_fallback(path, names, options, plan, jobs, start,
+                                "no usable shard seams"
+                                if jobs > 1 else "jobs=1")
+
+    pool_size = min(jobs, len(plan.segments))
+    jobs_payload = [{
+        "path": path,
+        "ordinal": segment.ordinal,
+        "checkpoint": segment.checkpoint.to_payload(),
+        "end_index": segment.end_index,
+        "analyses": names,
+        "options": options,
+        "plugin_modules": plugin_modules,
+    } for segment in plan.segments]
+    if pool_size == 1:
+        results = [run_segment(job) for job in jobs_payload]
+    else:
+        with multiprocessing.Pool(processes=pool_size) as pool:
+            results = pool.map(run_segment, jobs_payload, chunksize=1)
+    results.sort(key=lambda r: r["ordinal"])
+
+    with TraceReader(path) as reader:
+        header = reader.header
+        footer = reader.read_footer()
+        program = _compiled(path, header)
+    final_memory = restore_memory(
+        program, header, Checkpoint.from_payload(results[-1]["memory"]))
+    sampling = getattr(header, "sampling", "full")
+    wall = _time.perf_counter() - start
+    ctx = AnalysisContext(
+        program=program,
+        memory=final_memory,
+        final_time=footer.final_time,
+        exit_value=footer.exit_value,
+        output=[tuple(v) for v in footer.output],
+        events=footer.events,
+        wall_seconds=wall,
+        mode="replay",
+        sampling=None if sampling in (None, "", "full") else sampling,
+    )
+    merge_start = _time.perf_counter()
+    reports: dict[str, AnalysisResult] = {}
+    for name in names:
+        folded: AnalysisSegment = results[0]["exports"][name]
+        for result in results[1:]:
+            folded = folded.merge(result["exports"][name])
+        reports[name] = folded.finalize(ctx)
+    merge_seconds = _time.perf_counter() - merge_start
+    wall = _time.perf_counter() - start
+    ctx.wall_seconds = wall
+    return ParallelOutcome(
+        reports=reports, context=ctx, plan=plan, jobs=pool_size,
+        mode="parallel", wall_seconds=wall,
+        segment_seconds=[r["seconds"] for r in results],
+        segment_cpu_seconds=[r["cpu_seconds"] for r in results],
+        merge_seconds=merge_seconds)
+
+
+def _serial_fallback(path: str, names: list[str], options: dict | None,
+                     plan: ShardPlan, jobs: int, start: float,
+                     reason: str) -> ParallelOutcome:
+    instances = make_analyses(names, options)
+    outcome = replay_with(path, instances)
+    wall = _time.perf_counter() - start
+    outcome.context.wall_seconds = wall
+    return ParallelOutcome(
+        reports=outcome.reports, context=outcome.context, plan=plan,
+        jobs=1, mode="serial", fallback_reason=reason,
+        wall_seconds=wall)

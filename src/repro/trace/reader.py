@@ -79,15 +79,24 @@ class TraceReader:
 
     # -- streaming ---------------------------------------------------------
 
-    def events(self) -> Iterator[Event]:
+    @property
+    def events_start(self) -> int:
+        """File offset of the first event record (v1 footer arithmetic
+        and shard-scan checkpoint offsets are relative to this)."""
+        return self._events_start
+
+    def events(self, block_hook=None) -> Iterator[Event]:
         """Yield ``(etype, a, b, timestamp)`` for every recorded event.
 
         The FINISH event is yielded too (consumers map it to
         ``on_finish``); afterwards the footer is parsed and exposed as
-        :attr:`footer`.
+        :attr:`footer`. ``block_hook`` is forwarded to a v2 decoder
+        (ignored for v1) — the shard scanner's window into block
+        boundaries.
         """
         self._handle.seek(self._events_start)
-        decoder = make_decoder(self.version, self._handle, self.path)
+        decoder = make_decoder(self.version, self._handle, self.path,
+                               block_hook=block_hook)
         self.decoder = decoder
         yield from decoder.events()
         # The decoder returned, so FINISH was seen (anything else
@@ -115,6 +124,28 @@ class TraceReader:
                 f"{self.path}: footer length mismatch "
                 f"({length} recorded, {len(blob)} present)")
         self.footer = TraceFooter.from_bytes(blob)
+
+    def events_from(self, offset: int,
+                    codec_state: dict | None = None) -> Iterator[Event]:
+        """Stream events from a checkpointed seam instead of the start.
+
+        ``offset`` must be a block boundary (v2) or a record boundary
+        (v1) and ``codec_state`` the decoder state a checkpoint
+        captured there ({"time": ..., "prev": {...}}); anything else
+        desynchronizes the delta decoding. The caller owns termination
+        — this iterator neither stops at the next checkpoint nor reads
+        the footer (segment drivers consume exactly their slice; the
+        FINISH record still ends the stream for the final segment).
+        """
+        self._handle.seek(offset)
+        decoder = make_decoder(self.version, self._handle, self.path,
+                               state=codec_state)
+        self.decoder = decoder
+        return decoder.events()
+
+    def checkpoints(self) -> list[dict]:
+        """Checkpoint payloads embedded in the footer (may be empty)."""
+        return list(self.read_footer().checkpoints)
 
     def read_footer(self) -> TraceFooter:
         """Footer without streaming events (located from the file end)."""

@@ -43,9 +43,10 @@ from repro.analyses.builtin import (ContextDependenceAnalysis,
 from repro.ir.cfg import ProgramIR
 from repro.ir.lowering import compile_source
 from repro.runtime.memory import Memory
-from repro.trace.events import (EV_ALLOC, EV_BLOCK, EV_BRANCH, EV_ENTER,
-                                EV_EXIT, EV_FINISH, EV_FREE, EV_READ,
-                                EV_WRITE, TraceError, source_digest)
+from repro.trace.events import (EV_ALLOC, EV_BLOCK, EV_BRANCH,
+                                EV_CHECKPOINT, EV_ENTER, EV_EXIT,
+                                EV_FINISH, EV_FREE, EV_READ, EV_WRITE,
+                                TraceError, source_digest)
 from repro.trace.reader import TraceReader
 
 # -- deprecated pre-registry names (thin shims) -----------------------------
@@ -244,6 +245,8 @@ class ReplayEngine:
                 final_time = t
                 for hook in on_finish:
                     hook(t)
+            elif etype == EV_CHECKPOINT:
+                pass  # shard seam marker: no analysis-visible content
             else:
                 raise TraceError(f"unknown event type {etype}")
         wall = _time.perf_counter() - start

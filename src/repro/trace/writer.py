@@ -38,10 +38,13 @@ from repro.runtime.memory import Memory
 from repro.runtime.tracing import Tracer
 from repro.trace.codec import DEFAULT_BLOCK_BYTES, make_encoder
 from repro.trace.events import (DEFAULT_TRACE_VERSION, EV_ALLOC, EV_BLOCK,
-                                EV_BRANCH, EV_ENTER, EV_EXIT, EV_FINISH,
-                                EV_FREE, EV_READ, EV_WRITE, MAGIC, TRAILER,
+                                EV_BRANCH, EV_CHECKPOINT, EV_ENTER,
+                                EV_EXIT, EV_FINISH, EV_FREE, EV_READ,
+                                EV_WRITE, MAGIC, TRACE_VERSION_V2, TRAILER,
                                 TraceFooter, TraceHeader, check_u32,
                                 pack_length, pack_version, source_digest)
+from repro.trace.shards import (DEFAULT_CHECKPOINT_INTERVAL,
+                                CheckpointBuilder)
 
 
 class TraceWriter(Tracer):
@@ -64,13 +67,21 @@ class TraceWriter(Tracer):
         policy's job, via :class:`repro.sampling.SampledTracer`).
     block_bytes:
         v2 only: uncompressed bytes buffered per compressed block.
+    checkpoint_interval:
+        v2 only: emit a CHECKPOINT shard seam roughly every this many
+        events (``repro.trace.shards``). 0 disables checkpointing;
+        ``None`` uses :data:`DEFAULT_CHECKPOINT_INTERVAL`. Maintaining
+        the snapshot mirror costs roughly one extra dict operation per
+        event; v1 recordings never checkpoint (the scan builder covers
+        them after the fact).
     """
 
     def __init__(self, path: str | os.PathLike, source: str,
                  filename: str = "<input>", *,
                  version: int = DEFAULT_TRACE_VERSION,
                  sampling: str = "full",
-                 block_bytes: int = DEFAULT_BLOCK_BYTES):
+                 block_bytes: int = DEFAULT_BLOCK_BYTES,
+                 checkpoint_interval: int | None = None):
         self.path = os.fspath(path)
         self.source = source
         self.filename = filename
@@ -79,6 +90,16 @@ class TraceWriter(Tracer):
         self.events = 0
         self.final_time = 0
         self.closed = False
+        if checkpoint_interval is None:
+            checkpoint_interval = DEFAULT_CHECKPOINT_INTERVAL
+        if checkpoint_interval < 0:
+            raise ValueError(f"checkpoint_interval must be >= 0, "
+                             f"got {checkpoint_interval}")
+        self.checkpoint_interval = (checkpoint_interval
+                                    if version == TRACE_VERSION_V2 else 0)
+        self._builder: CheckpointBuilder | None = None
+        self._checkpoints: list[dict] = []
+        self._last_checkpoint_index = 0
         self._encoder = make_encoder(version, block_bytes)
         self._handle = open(self.path, "wb")
         self._last_time = 0
@@ -104,6 +125,9 @@ class TraceWriter(Tracer):
         self._handle.write(pack_version(self.version))
         self._handle.write(pack_length(len(blob)))
         self._handle.write(blob)
+        if self.checkpoint_interval:
+            self._builder = CheckpointBuilder(program, functions,
+                                              memory.heap_base)
 
     def on_finish(self, timestamp: int) -> None:
         self.final_time = timestamp
@@ -122,6 +146,7 @@ class TraceWriter(Tracer):
             output=[list(values) for values in (output or [])],
             events=self.events,
             final_time=self.final_time,
+            checkpoints=self._checkpoints,
         )
         blob = footer.to_bytes()
         handle.write(blob)
@@ -176,8 +201,33 @@ class TraceWriter(Tracer):
         encoder = self._encoder
         encoder.add(etype, a, b, delta)
         self.events += 1
+        builder = self._builder
+        if builder is not None:
+            builder.apply(etype, a, b, timestamp)
+            if (builder.index - self._last_checkpoint_index
+                    >= self.checkpoint_interval and etype != EV_FINISH):
+                self._take_checkpoint()
+                return
         if encoder.pending() >= encoder.flush_bytes:
             self._handle.write(encoder.take())
+
+    def _take_checkpoint(self) -> None:
+        """Emit a CHECKPOINT marker, seal the block, snapshot the seam.
+
+        The marker is the last record of the flushed block, so the
+        stored offset (taken after the flush) is exactly where the
+        next block — the first record of the next segment — begins.
+        """
+        builder = self._builder
+        encoder = self._encoder
+        ordinal = len(self._checkpoints)
+        encoder.add(EV_CHECKPOINT, ordinal, 0, 0)
+        self.events += 1
+        builder.apply(EV_CHECKPOINT, ordinal, 0, self._last_time)
+        self._handle.write(encoder.take())
+        checkpoint = builder.snapshot(self._handle.tell(), encoder.state())
+        self._checkpoints.append(checkpoint.to_payload())
+        self._last_checkpoint_index = builder.index
 
 
 @dataclass
@@ -194,26 +244,31 @@ class RecordResult:
     #: under ("full" = unsampled).
     version: int = DEFAULT_TRACE_VERSION
     sampling: str = "full"
+    #: Checkpoint shard seams embedded in the trace.
+    checkpoints: int = 0
 
 
 def record_program(program: ProgramIR, path: str | os.PathLike, *,
                    source: str, filename: str = "<input>",
                    max_steps: int = DEFAULT_MAX_STEPS,
                    version: int = DEFAULT_TRACE_VERSION,
-                   sampling=None) -> RecordResult:
+                   sampling=None,
+                   checkpoint_interval: int | None = None) -> RecordResult:
     """Run ``program`` under a :class:`TraceWriter`; returns the summary.
 
     ``source`` must be the text ``program`` was compiled from — it is
     embedded in the trace and recompiled at replay time. ``sampling``
     accepts a spec string (``"interval:100"``) or an instantiated
     :class:`repro.sampling.SamplingPolicy`; memory events the policy
-    drops never reach the file.
+    drops never reach the file. ``checkpoint_interval`` embeds shard
+    seams for parallel replay (v2; 0 disables, None = default).
     """
     from repro.sampling import SampledTracer, as_policy
 
     policy = as_policy(sampling)
     writer = TraceWriter(path, source, filename, version=version,
-                         sampling=policy.spec)
+                         sampling=policy.spec,
+                         checkpoint_interval=checkpoint_interval)
     tracer = writer if policy.is_full else SampledTracer(policy, writer)
     start = _time.perf_counter()
     try:
@@ -233,6 +288,7 @@ def record_program(program: ProgramIR, path: str | os.PathLike, *,
         wall_seconds=wall,
         version=version,
         sampling=policy.spec,
+        checkpoints=len(writer._checkpoints),
     )
 
 
@@ -240,9 +296,11 @@ def record_source(source: str, path: str | os.PathLike, *,
                   filename: str = "<input>",
                   max_steps: int = DEFAULT_MAX_STEPS,
                   version: int = DEFAULT_TRACE_VERSION,
-                  sampling=None) -> RecordResult:
+                  sampling=None,
+                  checkpoint_interval: int | None = None) -> RecordResult:
     """Compile and record MiniC ``source`` into a trace at ``path``."""
     program = compile_source(source, filename)
     return record_program(program, path, source=source, filename=filename,
                           max_steps=max_steps, version=version,
-                          sampling=sampling)
+                          sampling=sampling,
+                          checkpoint_interval=checkpoint_interval)

@@ -263,3 +263,40 @@ class TestAgreementWithLegacyEntryPoints:
             assert session.stats.live_runs == 0
         assert set(report.results) == {"dep", "locality", "hot"}
         assert all(r.to_dict() for r in report)
+
+
+class TestSessionParallelReplay:
+    def test_jobs_option_runs_parallel_with_identical_results(self):
+        from repro.core.alchemist import ProfileOptions
+        from repro.workloads import get
+
+        source = get("gzip", 0.2).source
+        with Session() as serial_session:
+            serial = serial_session.analyze(
+                source, ["dep", "locality", "hot"])
+        options = ProfileOptions(jobs=3, checkpoints=800)
+        with Session(options) as parallel_session:
+            parallel = parallel_session.analyze(
+                source, ["dep", "locality", "hot"])
+            assert parallel_session.stats.parallel_passes == 1
+        for name in ("dep", "locality", "hot"):
+            assert parallel.modes[name] == "parallel"
+            assert parallel[name].to_dict() == serial[name].to_dict()
+
+    def test_jobs_zero_means_auto(self):
+        from repro.core.alchemist import ProfileOptions
+
+        options = ProfileOptions(jobs=0, checkpoints=200)
+        with Session(options) as session:
+            report = session.analyze(SOURCE, ["counts"])
+        # Tiny program: parallel may or may not engage depending on
+        # seam density, but results must be the ordinary ones.
+        assert report["counts"].data["reads"] > 0
+
+    def test_negative_jobs_rejected(self):
+        from repro.core.alchemist import ProfileOptions
+
+        with pytest.raises(ValueError):
+            ProfileOptions(jobs=-1)
+        with pytest.raises(ValueError):
+            ProfileOptions(checkpoints=-5)

@@ -105,8 +105,14 @@ class TestGzipShape:
                     for e in fb.edges(DepKind.WAW)}
         assert "outbuf" not in waw_vars
 
-    def test_pool_recycles_nodes(self):
-        assert self.report.stats.pool.reuses > 0
+    def test_node_turnover_is_reclaimable(self):
+        # GC-backed allocation: nodes are never recycled (reuses == 0 by
+        # construction); instead the peak-live footprint stays far below
+        # the allocation count, showing completed instances do die and
+        # become reclaimable.
+        stats = self.report.stats.pool
+        assert stats.reuses == 0
+        assert stats.capacity < stats.acquires
 
     def test_exit_and_output(self):
         assert self.report.exit_value == 0

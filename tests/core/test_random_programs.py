@@ -7,7 +7,7 @@ dereferences and assignments. Every generated program must *compile*
 and any program that runs to completion — wild pointer dereferences
 and infinite loops are legitimate runtime outcomes, not failures —
 must leave the profiler in a consistent state: balanced indexing
-stack, zeroed nesting counters, pool fully drained.
+stack, zeroed nesting counters, allocator fully drained.
 """
 
 from hypothesis import given, settings
@@ -70,7 +70,7 @@ class TestRandomPrograms:
         assert tracer.stack.depth() == 0
         nonzero = {pc: d for pc, d in tracer.store._nesting.items() if d}
         assert nonzero == {}
-        assert tracer.pool.free_count() == tracer.pool.stats.capacity
+        assert tracer.pool.live_count() == 0
 
     @given(_programs)
     @settings(max_examples=40, deadline=None)

@@ -100,6 +100,34 @@ class TestBatchCli:
                      "--out-dir", str(tmp_path / "traces"),
                      "--workers", "1"]) == 1
 
+    def test_batch_failure_lists_failing_jobs(self, tmp_path, capsys):
+        """A worker error must surface three ways: non-zero exit, a
+        FAILED section in the summary naming the job, and a one-line
+        stderr count — never a silent partial-results report."""
+        assert main(["batch", "--workloads", "gzip,definitely-not-real",
+                     "--scale", "0.25",
+                     "--out-dir", str(tmp_path / "traces"),
+                     "--workers", "1"]) == 1
+        captured = capsys.readouterr()
+        assert "FAILED (1 job(s)):" in captured.out
+        assert "record definitely-not-real" in captured.out
+        assert "1 batch job(s) failed" in captured.err
+        assert "definitely-not-real" in captured.err
+        # The healthy workload is still reported (partial results are
+        # fine — hiding the failure is not).
+        assert "gzip" in captured.out
+
+    def test_batch_failure_exit_with_json(self, tmp_path, capsys):
+        assert main(["batch", "--workloads", "definitely-not-real",
+                     "--out-dir", str(tmp_path / "traces"),
+                     "--workers", "1", "--json"]) == 1
+        captured = capsys.readouterr()
+        payload = json.loads(
+            captured.out[captured.out.index("{"):
+                         captured.out.rindex("}") + 1])
+        assert not payload["definitely-not-real"]["record"]["ok"]
+        assert "failed" in captured.err
+
     def test_batch_bench_skips_failed_workloads(self, tmp_path, capsys):
         """--bench must not crash when no workload recorded."""
         assert main(["batch", "--workloads", "definitely-not-real",
@@ -118,3 +146,66 @@ class TestBatchCli:
                      "--bench-out", str(tmp_path / "B.json"),
                      "--analysis", "dep,bogus"]) == 2
         assert "unknown analysis" in capsys.readouterr().err
+
+
+class TestParallelReplayCli:
+    @pytest.fixture
+    def seamed_trace(self, minic_file, tmp_path):
+        out = str(tmp_path / "seamed.trace")
+        assert main(["record", minic_file, "-o", out,
+                     "--checkpoints", "40"]) == 0
+        return out
+
+    def test_parser_wiring(self):
+        args = build_parser().parse_args(
+            ["replay", "x.trace", "--parallel", "--jobs", "4"])
+        assert args.parallel and args.jobs == 4
+        args = build_parser().parse_args(
+            ["record", "f.mc", "--checkpoints", "0"])
+        assert args.checkpoints == 0
+        args = build_parser().parse_args(
+            ["analyze", "f.mc", "--jobs", "2"])
+        assert args.jobs == 2
+
+    def test_record_reports_checkpoints(self, minic_file, tmp_path,
+                                        capsys):
+        out = str(tmp_path / "t.trace")
+        assert main(["record", minic_file, "-o", out,
+                     "--checkpoints", "40"]) == 0
+        assert "checkpoint(s)" in capsys.readouterr().out
+
+    def test_info_reports_checkpoints(self, seamed_trace, capsys):
+        capsys.readouterr()
+        assert main(["info", seamed_trace]) == 0
+        out = capsys.readouterr().out
+        assert "shard seam(s)" in out
+        assert "checkpoint=" in out  # marker records in the event counts
+
+    def test_parallel_replay_matches_serial_output(self, seamed_trace,
+                                                   capsys):
+        capsys.readouterr()
+        assert main(["replay", seamed_trace,
+                     "--analysis", "dep,locality,counts"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["replay", seamed_trace, "--parallel", "--jobs", "3",
+                     "--analysis", "dep,locality,counts"]) == 0
+        parallel = capsys.readouterr().out
+        assert "across" in parallel and "segment(s)" in parallel
+        # Everything after the run headers must be identical.
+        assert serial.split("\n\n", 1)[1] == parallel.split("\n\n", 1)[1]
+
+    def test_parallel_flag_falls_back_without_seams(self, minic_file,
+                                                    tmp_path, capsys):
+        out = str(tmp_path / "tiny.trace")
+        assert main(["record", minic_file, "-o", out,
+                     "--checkpoints", "0"]) == 0
+        capsys.readouterr()
+        # The tiny trace still parallelizes via the scan builder or
+        # falls back serially; either way it must succeed and say how.
+        assert main(["replay", out, "--parallel", "--jobs", "2",
+                     "--analysis", "counts"]) == 0
+        assert "analysis(es)" in capsys.readouterr().out
+
+    def test_negative_jobs_rejected(self, seamed_trace, capsys):
+        assert main(["replay", seamed_trace, "--jobs", "-1"]) == 2
+        assert "--jobs" in capsys.readouterr().err

@@ -1,0 +1,185 @@
+"""Differential harness: parallel sharded replay vs one serial pass.
+
+The contract under test is exact equality — ``to_dict()`` *and*
+rendered text — for every registered analysis, over both trace
+formats, across worker counts including one that does not divide the
+segment count. Parametrization goes through the live registry, so an
+analysis registered later is automatically held to the same standard
+(or must explicitly opt out of ``supports_segments``, in which case
+the driver's serial fallback is asserted instead).
+"""
+
+import os
+
+import pytest
+
+from repro.analyses import registry
+from repro.trace.parallel import parallel_replay, unsupported_analyses
+from repro.trace.replay import replay_trace
+from repro.trace.shards import plan_shards
+from repro.trace.writer import record_source
+from repro.workloads import get
+
+#: Worker counts: serial fallback, even split, oversubscribed, and a
+#: count that does not divide the segment total.
+JOB_COUNTS = (1, 2, 4, 7)
+FORMATS = (1, 2)
+
+#: Small but structurally rich: gzip exercises globals + arrays +
+#: deep call nesting; wordcount exercises heap allocation/recycling
+#: (the hard cases for checkpointed memory reconstruction).
+WORKLOADS = {"gzip": 0.25, "wordcount": 0.6}
+
+#: Events between embedded checkpoints — small enough that every
+#: bundled trace yields well over 7 segments.
+INTERVAL = 1200
+
+
+def _segmented_names():
+    return sorted(name for name, cls in registry().items()
+                  if cls.supports_segments)
+
+
+@pytest.fixture(scope="module")
+def traces(tmp_path_factory):
+    """(workload, format) -> trace path, recorded once per module."""
+    root = tmp_path_factory.mktemp("parity-traces")
+    paths = {}
+    for name, scale in WORKLOADS.items():
+        workload = get(name, scale)
+        for version in FORMATS:
+            path = str(root / f"{name}-v{version}.trace")
+            record_source(workload.source, path, version=version,
+                          checkpoint_interval=INTERVAL)
+            paths[name, version] = path
+    return paths
+
+
+@pytest.fixture(scope="module")
+def outcomes(traces):
+    """All serial and parallel outcomes, computed once; the
+    per-analysis tests below only compare."""
+    names = _segmented_names()
+    serial = {}
+    parallel = {}
+    for (workload, version), path in traces.items():
+        serial[workload, version] = replay_trace(path, names)
+        for jobs in JOB_COUNTS:
+            parallel[workload, version, jobs] = parallel_replay(
+                path, names, jobs=jobs, interval=INTERVAL)
+    return serial, parallel
+
+
+class TestParity:
+    @pytest.mark.parametrize("analysis", _segmented_names())
+    @pytest.mark.parametrize("version", FORMATS)
+    @pytest.mark.parametrize("jobs", JOB_COUNTS)
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    def test_merged_equals_serial(self, outcomes, workload, version,
+                                  jobs, analysis):
+        serial, parallel = outcomes
+        expected = serial[workload, version].reports[analysis]
+        actual = parallel[workload, version, jobs].reports[analysis]
+        assert actual.to_dict() == expected.to_dict()
+        assert actual.text == expected.text
+
+    def test_every_bundled_analysis_supports_segments(self):
+        assert not unsupported_analyses(sorted(registry()))
+
+    def test_parallel_mode_actually_engaged(self, outcomes):
+        _serial, parallel = outcomes
+        for (workload, version, jobs), outcome in parallel.items():
+            if jobs == 1:
+                assert outcome.mode == "serial", (workload, version)
+            else:
+                assert outcome.mode == "parallel", (workload, version,
+                                                    jobs)
+                assert len(outcome.plan.segments) > 1
+
+    def test_nondivisible_worker_count(self, traces):
+        """jobs=7 over a segment count it does not divide: every event
+        is still replayed exactly once (counts analysis is a watertight
+        event-conservation check)."""
+        path = traces["gzip", 2]
+        plan = plan_shards(path, 7, interval=INTERVAL)
+        assert len(plan.segments) % 7 != 0
+        serial = replay_trace(path, ["counts"])
+        par = parallel_replay(path, ["counts"], jobs=7,
+                              interval=INTERVAL)
+        assert par.reports["counts"].to_dict() == \
+            serial.reports["counts"].to_dict()
+
+
+class TestOptionsParity:
+    def test_analysis_options_reach_workers(self, traces):
+        path = traces["gzip", 2]
+        options = {"hot": {"top": 3}, "dep": {"track_war_waw": False}}
+        from repro.trace.replay import replay_with
+        from repro.analyses import make_analyses
+
+        serial = replay_with(path, make_analyses(["dep", "hot"],
+                                                 options))
+        par = parallel_replay(path, ["dep", "hot"], jobs=3,
+                              options=options, interval=INTERVAL)
+        assert par.mode == "parallel"
+        for name in ("dep", "hot"):
+            assert par.reports[name].to_dict() == \
+                serial.reports[name].to_dict()
+        assert par.reports["hot"].data["top"] == 3
+
+
+class TestFallbacks:
+    def test_unsupported_analysis_falls_back_serially(self, traces):
+        from repro.analyses import register, unregister
+        from repro.analyses.base import Analysis, AnalysisResult
+
+        class Stub(Analysis):
+            name = "parity-stub"
+            description = "no segment support"
+
+            def finish(self, ctx):
+                return AnalysisResult(analysis=self.name, data={},
+                                      text="stub")
+
+        register(Stub)
+        try:
+            path = traces["gzip", 2]
+            outcome = parallel_replay(path, ["counts", "parity-stub"],
+                                      jobs=4, interval=INTERVAL)
+            assert outcome.mode == "serial"
+            assert "parity-stub" in outcome.fallback_reason
+            assert outcome.reports["counts"].data["reads"] > 0
+        finally:
+            unregister("parity-stub")
+
+    def test_trace_without_seams_falls_back(self, tmp_path):
+        workload = get("gzip", 0.1)
+        path = str(tmp_path / "noseams.trace")
+        record_source(workload.source, path, checkpoint_interval=0)
+        outcome = parallel_replay(path, ["counts"], jobs=4,
+                                  allow_scan=False)
+        assert outcome.mode == "serial"
+        assert "seams" in outcome.fallback_reason
+        assert not os.path.exists(path + ".ckpt")
+
+    def test_scan_builds_seams_for_v1(self, tmp_path):
+        """v1 traces predate checkpoints entirely; the scan builder
+        makes them shardable after the fact (and caches a sidecar)."""
+        workload = get("gzip", 0.25)
+        path = str(tmp_path / "old.trace")
+        record_source(workload.source, path, version=1)
+        serial = replay_trace(path, ["dep", "locality"])
+        outcome = parallel_replay(path, ["dep", "locality"], jobs=4,
+                                  interval=INTERVAL)
+        assert outcome.mode == "parallel"
+        assert outcome.plan.source == "scan"
+        assert os.path.exists(path + ".ckpt")
+        for name in ("dep", "locality"):
+            assert outcome.reports[name].to_dict() == \
+                serial.reports[name].to_dict()
+        # Second run must reuse the sidecar (same plan, same results).
+        again = parallel_replay(path, ["dep"], jobs=4,
+                                interval=INTERVAL)
+        assert again.mode == "parallel"
+        assert again.reports["dep"].to_dict() == \
+            serial.reports["dep"].to_dict()
