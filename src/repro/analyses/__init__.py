@@ -1,8 +1,8 @@
 """Unified analysis plugins: one registry for live, replay, and batch.
 
 Importing this package registers the bundled analyses (``dep``,
-``locality``, ``hot``, ``counts``, ``flat``, ``context``). See
-:mod:`repro.analyses.base` for the protocol and a worked example of
+``locality``, ``hot``, ``counts``, ``flat``, ``context``, ``whatif``).
+See :mod:`repro.analyses.base` for the protocol and a worked example of
 registering your own.
 """
 
@@ -15,6 +15,7 @@ from repro.analyses.builtin import (ContextDependenceAnalysis,
                                     FlatDependenceAnalysis, HotAddress,
                                     HotAddressAnalysis, LocalityAnalysis,
                                     LocalityResult, profile_summary)
+from repro.analyses.whatif import WhatIfAnalysis
 
 __all__ = [
     "Analysis",
@@ -38,5 +39,6 @@ __all__ = [
     "CountingAnalysis",
     "FlatDependenceAnalysis",
     "ContextDependenceAnalysis",
+    "WhatIfAnalysis",
     "profile_summary",
 ]

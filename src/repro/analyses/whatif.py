@@ -1,0 +1,342 @@
+"""The what-if advisor: Table V as a first-class analysis.
+
+``whatif`` closes the paper's profile-to-decision loop (§IV-B) on the
+unified analysis protocol: one event stream builds the dependence
+profile, the :class:`~repro.core.advisor.Advisor` turns it into ranked
+candidate constructs with required privatizations, and every
+non-blocked candidate is swept through the
+:class:`~repro.parallel.simulator.FutureSimulator` across a set of
+worker counts. The result is a JSON-able ranking of "parallelize this,
+privatize that, expect roughly x3.5 on 4 workers" answers.
+
+Two passes over the *same* event stream are needed — candidates are
+only known once the profile exists — and neither re-executes the
+program when the events came from a recording: the second pass replays
+``ctx.trace_path`` through one
+:class:`~repro.parallel.taskgraph.TaskGraphTracer` per candidate (all
+riding a single replay; ``jobs`` > 1 fans candidates across worker
+processes instead). Only a live run (``mode="live"``) falls back to
+executing the program again for the extraction pass, which is exactly
+what the pre-registry estimator always did.
+
+The profiling pass is inherited wholesale from
+:class:`~repro.analyses.builtin.DependenceAnalysis` — including its
+segment/merge protocol, so ``whatif`` runs under sharded parallel
+replay: workers merge the dependence profile exactly as ``dep`` does,
+and the sweep happens once after the fold. Results are a pure function
+of the event stream, so live, serial-replay and parallel-replay runs
+produce identical output — the registry parity tests cover ``whatif``
+like every other plugin.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any
+
+from repro.analyses.base import (AnalysisContext, AnalysisResult,
+                                 AnalysisSegment, OptionSpec, register)
+from repro.analyses.builtin import DependenceAnalysis
+from repro.core.advisor import Advisor, Recommendation, Verdict
+from repro.core.report import ProfileReport
+from repro.ir.cfg import ProgramIR
+from repro.parallel.simulator import FutureSimulator
+from repro.parallel.taskgraph import (LiveSource, TaskGraph, TraceSource,
+                                      extract_task_graphs)
+
+#: Worker counts swept when the caller does not choose (Table V runs
+#: on 4 workers; the sweep shows where scaling saturates).
+DEFAULT_WORKERS = "2,4,8,16"
+
+
+def parse_worker_counts(spec: str) -> tuple[int, ...]:
+    """``"2,4,8"`` -> ``(2, 4, 8)``; rejects empties, non-positives and
+    duplicates with messages naming the offender."""
+    counts: list[int] = []
+    parts = [p.strip() for p in str(spec).split(",")]
+    if not any(parts):
+        raise ValueError("workers: need at least one worker count")
+    for part in parts:
+        if not part:
+            raise ValueError(
+                f"workers: empty entry in {spec!r} (use e.g. '2,4,8')")
+        try:
+            count = int(part)
+        except ValueError:
+            raise ValueError(
+                f"workers: {part!r} is not an integer") from None
+        if count < 1:
+            raise ValueError(
+                f"workers: counts must be >= 1, got {count}")
+        if count in counts:
+            raise ValueError(f"workers: duplicate count {count}")
+        counts.append(count)
+    return tuple(counts)
+
+
+def _private_globals(program: ProgramIR,
+                     rec: Recommendation) -> tuple[str, ...]:
+    """The advisor's privatization list restricted to program globals.
+
+    Privatized *locals* need no RAW exemption — each spawned instance
+    owns a fresh frame already — so only global names feed the
+    extraction's skip set (the paper's per-thread ``ivec`` copies).
+    """
+    names = []
+    for name in rec.privatize:
+        try:
+            program.global_var(name)
+        except KeyError:
+            continue
+        names.append(name)
+    return tuple(names)
+
+
+def _extract_job(payload: dict) -> dict[int, TaskGraph]:
+    """Worker entry for ``jobs`` > 1: replay the trace once for one
+    chunk of candidates (top-level so it pickles)."""
+    source = TraceSource(payload["trace_path"])
+    return extract_task_graphs(
+        source, {int(pc): tuple(vars_) for pc, vars_ in
+                 payload["targets"].items()})
+
+
+@register
+class WhatIfAnalysis(DependenceAnalysis):
+    """Predicted futures-parallelization speedups per candidate
+    construct, grounded in the profiled event stream."""
+
+    name = "whatif"
+    description = ("what-if advisor: predicted futures speedup per "
+                   "candidate construct (Table V sweep)")
+    supports_segments = True  # dep's merge machinery, inherited
+    options = (
+        OptionSpec("workers", str, DEFAULT_WORKERS,
+                   "comma-separated worker counts to sweep"),
+        OptionSpec("top", int, 8,
+                   "candidate constructs taken from the advisor"),
+        OptionSpec("jobs", int, 1,
+                   "processes for the extraction pass over a recorded "
+                   "trace (0 = one per CPU; results identical)"),
+    )
+
+    def __init__(self, workers: str = DEFAULT_WORKERS, top: int = 8,
+                 jobs: int = 1):
+        super().__init__()  # full WAR/WAW profile — the advisor needs it
+        self.worker_counts = parse_worker_counts(workers)
+        if top < 1:
+            raise ValueError(f"top must be >= 1, got {top}")
+        if jobs < 0:
+            raise ValueError(f"jobs must be >= 0, got {jobs}")
+        self.top = top
+        self.jobs = jobs
+
+    def _sweep_options(self) -> dict[str, Any]:
+        return {"workers": list(self.worker_counts), "top": self.top,
+                "jobs": self.jobs}
+
+    # -- serial / live path ----------------------------------------------
+
+    def finish(self, ctx: AnalysisContext) -> AnalysisResult:
+        report = super().finish(ctx).payload
+        return _advise(report, ctx, self.worker_counts, self.top,
+                       self.jobs)
+
+    # -- segment/merge protocol -------------------------------------------
+    #
+    # The profile folds exactly as `dep`'s; the sweep options ride in
+    # each segment's state so the classmethod finalize can rebuild them
+    # (segment workers run in other processes — `self` is long gone by
+    # merge time).
+
+    def export_segment(self, ctx: AnalysisContext) -> AnalysisSegment:
+        segment = super().export_segment(ctx)
+        segment.state["whatif"] = self._sweep_options()
+        return segment
+
+    @classmethod
+    def _internalize(cls, state: dict) -> dict:
+        internal = super()._internalize(state)
+        internal["whatif"] = state["whatif"]
+        return internal
+
+    @classmethod
+    def finalize_segments(cls, state: dict,
+                          ctx: AnalysisContext) -> AnalysisResult:
+        sweep = state["whatif"] if "whatif" in state else None
+        dep_result = super().finalize_segments(state, ctx)
+        if sweep is None:  # pragma: no cover - segments always carry it
+            sweep = {"workers": [2, 4, 8, 16], "top": 8, "jobs": 1}
+        return _advise(dep_result.payload, ctx,
+                       tuple(sweep["workers"]), sweep["top"],
+                       sweep["jobs"])
+
+
+# ---------------------------------------------------------------------------
+# The sweep itself — shared by finish() and finalize_segments()
+# ---------------------------------------------------------------------------
+
+def _extract(ctx: AnalysisContext,
+             targets: dict[int, tuple[str, ...]],
+             jobs: int) -> dict[int, TaskGraph]:
+    """One more pass over the same event stream: replay the recording
+    when there is one, execute the program otherwise."""
+    if ctx.trace_path is not None:
+        jobs = jobs if jobs else (os.cpu_count() or 1)
+        if jobs > 1 and len(targets) > 1 \
+                and not multiprocessing.current_process().daemon:
+            # Daemonic workers (e.g. a batch-driver replay job) cannot
+            # spawn children; extraction falls back to the one-pass
+            # serial replay, which is result-identical anyway.
+            return _extract_parallel(ctx, targets, jobs)
+        return extract_task_graphs(
+            TraceSource(ctx.trace_path, ctx.program), targets)
+    # The profile pass completed, so the deterministic re-run finishes
+    # at exactly ctx.final_time — budget it accordingly rather than
+    # inheriting a default that may be *smaller* than the session's
+    # (a raised-budget session would otherwise trip StepLimitExceeded
+    # here mid-extraction).
+    return extract_task_graphs(
+        LiveSource(ctx.program, max_steps=max(ctx.final_time, 1)),
+        targets)
+
+
+def _extract_parallel(ctx: AnalysisContext,
+                      targets: dict[int, tuple[str, ...]],
+                      jobs: int) -> dict[int, TaskGraph]:
+    """Fan candidate chunks across processes, one replay each.
+
+    Graph extraction is independent per candidate, so the merged
+    result is identical to the serial pass whatever the split."""
+    pcs = sorted(targets)
+    jobs = min(jobs, len(pcs))
+    chunks: list[dict[str, tuple[str, ...]]] = [{} for _ in range(jobs)]
+    for index, pc in enumerate(pcs):
+        chunks[index % jobs][str(pc)] = targets[pc]
+    payloads = [{"trace_path": ctx.trace_path, "targets": chunk}
+                for chunk in chunks if chunk]
+    with multiprocessing.Pool(processes=len(payloads)) as pool:
+        results = pool.map(_extract_job, payloads)
+    graphs: dict[int, TaskGraph] = {}
+    for partial in results:
+        graphs.update(partial)
+    return graphs
+
+
+def _advise(report: ProfileReport, ctx: AnalysisContext,
+            worker_counts: tuple[int, ...], top: int,
+            jobs: int) -> AnalysisResult:
+    """Advisor candidates × worker counts -> the ranked what-if result."""
+    recommendations = Advisor(report).recommend(top)
+
+    skipped: list[dict[str, Any]] = []
+    simulate: list[Recommendation] = []
+    entry_pc = ctx.program.main.entry_pc
+    for rec in recommendations:
+        if rec.view.pc == entry_pc:
+            # ``main`` spans the entire run: there is no caller left to
+            # spawn it from, so a sweep would report a vacuous x1.00 at
+            # every worker count.
+            entry = rec.summary()
+            entry["reason"] = ("the entry procedure is the whole run — "
+                               "there is nothing to spawn it from")
+            skipped.append(entry)
+        elif rec.verdict is Verdict.BLOCKED:
+            entry = rec.summary()
+            entry["reason"] = rec.blocked_reason
+            skipped.append(entry)
+        else:
+            simulate.append(rec)
+
+    targets = {rec.view.pc: _private_globals(ctx.program, rec)
+               for rec in simulate}
+    graphs = _extract(ctx, targets, jobs) if targets else {}
+
+    candidates: list[dict[str, Any]] = []
+    for rec in simulate:
+        graph = graphs[rec.view.pc]
+        entry = rec.summary()
+        entry["privatized_globals"] = list(targets[rec.view.pc])
+        if not graph.tasks:
+            entry["reason"] = ("construct executed no instances — "
+                               "nothing to schedule")
+            skipped.append(entry)
+            continue
+        entry["tasks"] = len(graph.tasks)
+        entry["parallel_fraction"] = round(graph.parallel_fraction(), 6)
+        sweep: dict[str, Any] = {}
+        best: dict[str, Any] | None = None
+        for workers in worker_counts:
+            schedule = FutureSimulator(workers).schedule(graph)
+            point = {
+                "speedup": round(schedule.speedup, 4),
+                "t_seq": schedule.t_seq,
+                "t_par": schedule.makespan,
+                "join_stall": schedule.join_stall,
+            }
+            sweep[str(workers)] = point
+            if best is None or point["speedup"] > best["speedup"]:
+                best = dict(point, workers=workers)
+        entry["speedups"] = sweep
+        entry["best"] = best
+        candidates.append(entry)
+
+    # Rank by payoff: best predicted speedup first; ties fall back to
+    # the advisor's ordering (already verdict-then-size) and finally
+    # the pc so the order is total and mode-independent.
+    advisor_rank = {rec.view.pc: index
+                    for index, rec in enumerate(simulate)}
+    candidates.sort(key=lambda c: (-c["best"]["speedup"],
+                                   advisor_rank[c["pc"]], c["pc"]))
+    data: dict[str, Any] = {
+        "workers": list(worker_counts),
+        "total_instructions": ctx.final_time,
+        "candidates": candidates,
+        "skipped": skipped,
+        "best": ({"name": candidates[0]["name"],
+                  "pc": candidates[0]["pc"],
+                  "line": candidates[0]["line"],
+                  **candidates[0]["best"]}
+                 if candidates else None),
+    }
+    if ctx.sampling:
+        data["sampled"] = ctx.sampling
+    return AnalysisResult(analysis=WhatIfAnalysis.name, data=data,
+                          text=_render(data), payload=report)
+
+
+def _render(data: dict[str, Any]) -> str:
+    counts = ", ".join(str(w) for w in data["workers"])
+    lines = [f"What-if advisor: {len(data['candidates'])} "
+             f"candidate(s) swept over {{{counts}}} worker(s)"]
+    for rank, entry in enumerate(data["candidates"], start=1):
+        private = (" privatize: " + ", ".join(entry["privatize"])
+                   if entry["privatize"] else "")
+        lines.append(
+            f"{rank:2d}. {entry['name']} (line {entry['line']}, "
+            f"{entry['kind']}) [{entry['verdict']}]{private}")
+        sweep = "  ".join(
+            f"x{w}={entry['speedups'][str(w)]['speedup']:.2f}"
+            for w in data["workers"])
+        best = entry["best"]
+        lines.append(
+            f"    {sweep}  best x{best['workers']}: "
+            f"{best['speedup']:.2f} (T_seq={best['t_seq']} "
+            f"T_par={best['t_par']}, {entry['tasks']} task(s), "
+            f"parallel fraction {entry['parallel_fraction']:.2f})")
+    if not data["candidates"]:
+        lines.append("  (no simulatable candidates — every construct "
+                     "is blocked, below the size threshold, or never "
+                     "ran)")
+    if data["skipped"]:
+        lines.append("skipped:")
+        for entry in data["skipped"]:
+            lines.append(f"  {entry['name']} (line {entry['line']}) "
+                         f"[{entry['verdict']}]: {entry['reason']}")
+    if data.get("sampled"):
+        lines.append(
+            f"NOTE: advised from a sampled trace ({data['sampled']}); "
+            "missed dependences make these predictions optimistic — "
+            "treat as hints, not proof.")
+    return "\n".join(lines)

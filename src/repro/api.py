@@ -289,6 +289,34 @@ class Session:
             wall_seconds=_time.perf_counter() - start,
         )
 
+    def advise(self, source: str, *, filename: str = "<input>",
+               workers: Iterable[int] | str | None = None,
+               top: int | None = None, jobs: int | None = None,
+               mode: str = "auto") -> AnalysisResult:
+        """The what-if advisor over one program: record once, replay,
+        rank candidate constructs by predicted futures speedup.
+
+        Thin sugar over ``analyze(source, ["whatif"], ...)`` — the
+        trace cache, sampling and format options all apply, and the
+        returned :class:`~repro.analyses.AnalysisResult` carries the
+        ranked sweep in ``data`` plus the full ``ProfileReport`` as
+        ``payload``.
+        """
+        options: dict[str, Any] = {}
+        if workers is not None:
+            if not isinstance(workers, str):
+                workers = ",".join(str(w) for w in workers)
+            options["workers"] = workers
+        if top is not None:
+            options["top"] = top
+        if jobs is not None:
+            options["jobs"] = jobs
+        report = self.analyze(source, ("whatif",), filename=filename,
+                              mode=mode,
+                              options={"whatif": options} if options
+                              else None)
+        return report["whatif"]
+
     # -- internals ----------------------------------------------------------
 
     def _replay(self, trace_path: str, program: ProgramIR,

@@ -15,10 +15,14 @@ renderers live in :mod:`repro.bench.tables` and
 :mod:`repro.bench.figures`. Beyond the paper, two artifact benches
 measure this reproduction's own subsystems:
 :func:`repro.bench.harness.trace_bench` (BENCH_trace.json,
-replay-vs-rerun) and :func:`repro.bench.sampling.sampling_bench`
-(BENCH_sampling.json, trace size/speed vs accuracy).
+replay-vs-rerun), :func:`repro.bench.sampling.sampling_bench`
+(BENCH_sampling.json, trace size/speed vs accuracy), and
+:func:`repro.bench.advisor.advisor_bench` (BENCH_advisor.json, the
+what-if advisor's trace-grounded predictions differentially verified
+against live simulation).
 """
 
+from repro.bench.advisor import advisor_bench
 from repro.bench.harness import (fig6_data, gzip_profile_listing,
                                  profile_workload, table3_rows, table4_rows,
                                  table5_rows, trace_bench)
@@ -27,6 +31,7 @@ from repro.bench.tables import (render_table3, render_table4, render_table5)
 from repro.bench.figures import render_fig6, render_profile_listing
 
 __all__ = [
+    "advisor_bench",
     "trace_bench",
     "sampling_bench",
     "profile_workload",

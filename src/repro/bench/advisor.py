@@ -1,0 +1,139 @@
+"""BENCH_advisor.json: the what-if advisor across the Table III suite.
+
+For every workload the bench runs the trace-grounded ``whatif``
+analysis (record once, replay — the advisor's hot path never
+re-executes the program) and then *differentially verifies* its
+predictions: the best candidate is re-simulated with
+:func:`~repro.parallel.estimator.estimate_speedup` driving a fresh
+live execution, same construct and same privatization list. Extraction
+is a pure function of the event stream, so the two sweeps must agree
+exactly — a mismatch means the replay path lost or invented events.
+
+Where the paper names a parallelization target (Table IV/V rows), the
+bench also sweeps that exact location with its curated privatization
+list, so the artifact shows the advisor's pick next to the paper's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Iterable
+
+from repro.analysis.constructs import ConstructTable
+from repro.ir.lowering import compile_source
+from repro.parallel.estimator import (EstimatorError, find_construct,
+                                      simulate_speedup)
+from repro.parallel.taskgraph import LiveSource, extract_task_graphs
+from repro.workloads import get
+from repro.workloads.registry import TABLE3_ORDER
+
+#: Worker counts the artifact sweeps by default (Table V uses 4; the
+#: spread shows where each workload saturates).
+DEFAULT_WORKERS = (2, 4, 8, 16)
+
+
+def _direct_sweep(program, *, pc: int,
+                  private_vars: tuple[str, ...] = (),
+                  workers: Iterable[int]) -> dict[str, float]:
+    """Live-execution speedups for one construct (the oracle side).
+
+    One execution extracts the graph; each worker count only re-runs
+    the scheduler — the graph does not depend on the count."""
+    graphs = extract_task_graphs(LiveSource(program),
+                                 {pc: private_vars})
+    name = ConstructTable(program).by_pc[pc].name
+    return {str(count): round(
+                simulate_speedup(graphs[pc], target_name=name,
+                                 workers=count).speedup, 4)
+            for count in workers}
+
+
+def advisor_row(name: str, scale: float, workers: tuple[int, ...],
+                top: int, session) -> dict[str, Any]:
+    """One workload's predicted-vs-simulated advisor record."""
+    workload = get(name, scale)
+    result = session.advise(workload.source, filename=name,
+                            workers=workers, top=top)
+    data = result.data
+    row: dict[str, Any] = {
+        "name": name,
+        "total_instructions": data["total_instructions"],
+        "workers": list(workers),
+        "candidates": len(data["candidates"]),
+        "skipped": [{"name": e["name"], "verdict": e["verdict"],
+                     "reason": e["reason"]} for e in data["skipped"]],
+        "best": data["best"],
+        "predicted": None,
+        "simulated": None,
+        "verified_identical": None,
+    }
+    program = compile_source(workload.source, name)
+    if data["candidates"]:
+        best = data["candidates"][0]
+        predicted = {w: best["speedups"][w]["speedup"]
+                     for w in best["speedups"]}
+        simulated = _direct_sweep(
+            program, pc=best["pc"],
+            private_vars=tuple(best["privatized_globals"]),
+            workers=workers)
+        row["predicted"] = predicted
+        row["simulated"] = simulated
+        row["verified_identical"] = predicted == simulated
+
+    if workload.targets:
+        target, line = workload.primary_target()
+        try:
+            target_pc = find_construct(program, line=line)
+            paper_sweep = _direct_sweep(
+                program, pc=target_pc,
+                private_vars=target.private_vars, workers=workers)
+        except EstimatorError as exc:
+            row["paper_target"] = {"line": line, "error": str(exc)}
+        else:
+            advised_pcs = {c["pc"] for c in data["candidates"]}
+            row["paper_target"] = {
+                "line": line,
+                "fn": target.fn_name,
+                "private_vars": list(target.private_vars),
+                "speedups": paper_sweep,
+                "advised": target_pc in advised_pcs,
+            }
+    return row
+
+
+def advisor_bench(names: list[str] | None = None, scale: float = 0.5,
+                  workers: tuple[int, ...] = DEFAULT_WORKERS,
+                  top: int = 8,
+                  out_path: str | os.PathLike = "BENCH_advisor.json"
+                  ) -> dict[str, Any]:
+    """Run the advisor sweep over ``names`` and write the artifact."""
+    from repro.api import Session
+
+    if names is None:
+        names = list(TABLE3_ORDER)
+    rows = []
+    with tempfile.TemporaryDirectory(prefix="alchemist-advise-") as tmp:
+        with Session(cache_dir=tmp) as session:
+            for name in names:
+                rows.append(advisor_row(name, scale, tuple(workers),
+                                        top, session))
+    verified = [r["name"] for r in rows
+                if r["verified_identical"] is True]
+    with_candidates = [r["name"] for r in rows if r["candidates"]]
+    data = {
+        "scale": scale,
+        "workers": list(workers),
+        "rows": rows,
+        "summary": {
+            "workloads": len(rows),
+            "with_candidates": with_candidates,
+            "verified_identical": verified,
+            "all_verified": all(r["verified_identical"] in (True, None)
+                                for r in rows),
+        },
+    }
+    with open(out_path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+    return data

@@ -16,6 +16,12 @@ Subcommands
     (Fig. 2/3 style) plus the advisor's recommendations.
 ``speedup FILE --line N``
     Simulate parallelizing the construct at line N as futures.
+``advise FILE [--workers LIST] [--top N] [--json] [--jobs N]``
+    The what-if advisor: record the program once, then — entirely from
+    the replayed trace — rank the advisor's candidate constructs by
+    predicted futures speedup across a worker-count sweep, listing the
+    privatizations each one needs and why blocked constructs are
+    skipped (a Table V reproduction as one command).
 ``tree FILE``
     Record and render the execution index tree (paper Fig. 4).
 ``annotate FILE --line N``
@@ -41,6 +47,10 @@ Subcommands
     Measure the sampling/format trade-off across workloads — trace
     size reduction and record speedup vs per-analysis accuracy — and
     write the BENCH_sampling.json artifact.
+``bench-advise``
+    Run the what-if advisor over the Table III workloads, verify the
+    trace-grounded predictions against fresh live simulations, and
+    write the BENCH_advisor.json artifact.
 ``workloads``
     List the bundled benchmark ports.
 ``experiments``
@@ -159,21 +169,64 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_private(spec: str) -> tuple[str, ...]:
+    """``--private "a, b"`` -> ``("a", "b")``: names are stripped, and
+    empty or duplicate entries are rejected instead of silently
+    producing a variable that never matches."""
+    if not spec or not spec.strip():
+        return ()
+    names: list[str] = []
+    for part in spec.split(","):
+        name = part.strip()
+        if not name:
+            raise CliError(
+                f"--private: empty variable name in {spec!r}")
+        if name in names:
+            raise CliError(
+                f"--private: duplicate variable {name!r}")
+        names.append(name)
+    return tuple(names)
+
+
 def _cmd_speedup(args: argparse.Namespace) -> int:
     from repro.parallel.estimator import estimate_speedup
 
-    private = tuple(v for v in (args.private or "").split(",") if v)
+    private = _parse_private(args.private or "")
     try:
         result = estimate_speedup(
             _read(args.file), line=args.line, workers=args.workers,
             privatize=not args.no_privatize, private_vars=private)
-    except (ValueError, KeyError) as exc:
+    except ValueError as exc:  # EstimatorError included
         raise CliError(str(exc)) from None
     print(result.describe())
     graph = result.graph
     print(f"tasks={len(graph.tasks)} serial={graph.serial_time} "
           f"parallel_fraction={graph.parallel_fraction():.2f} "
           f"task_deps={len(graph.task_deps)}")
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.analyses.whatif import parse_worker_counts
+    from repro.api import Session
+
+    try:
+        parse_worker_counts(args.workers)  # fail fast with exit 2
+    except ValueError as exc:
+        raise CliError(f"--workers: {exc}") from None
+    if args.top < 1:
+        raise CliError(f"--top must be >= 1, got {args.top}")
+    if args.jobs is not None and args.jobs < 0:
+        raise CliError(f"--jobs must be >= 0, got {args.jobs}")
+    source = _read(args.file)
+    with Session() as session:
+        result = session.advise(source, filename=args.file,
+                                workers=args.workers, top=args.top,
+                                jobs=args.jobs)
+    if args.json:
+        print(result.to_json())
+        return 0
+    print(result.to_text())
     return 0
 
 
@@ -459,6 +512,49 @@ def _cmd_bench_parallel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_advise(args: argparse.Namespace) -> int:
+    from repro.analyses.whatif import parse_worker_counts
+    from repro.bench.advisor import advisor_bench
+    from repro.workloads import names as workload_names
+
+    known = workload_names()
+    names = ([n.strip() for n in args.workloads.split(",") if n.strip()]
+             if args.workloads else known)
+    unknown = [n for n in names if n not in known]
+    if unknown:
+        raise CliError(f"unknown workload(s): {', '.join(unknown)} "
+                       f"(known: {', '.join(known)})")
+    try:
+        workers = parse_worker_counts(args.workers)
+    except ValueError as exc:
+        raise CliError(f"--workers: {exc}") from None
+    data = advisor_bench(names=names, scale=args.scale,
+                         workers=workers, out_path=args.out)
+    for row in data["rows"]:
+        if row["best"] is None:
+            reasons = {e["verdict"] for e in row["skipped"]}
+            why = ", ".join(sorted(reasons)) or "no constructs"
+            print(f"{row['name']:12s} no candidate ({why})")
+            continue
+        best = row["best"]
+        verified = ("verified" if row["verified_identical"]
+                    else "MISMATCH vs live simulation")
+        print(f"{row['name']:12s} {best['name']:18s} "
+              f"best x{best['workers']}: {best['speedup']:.2f} "
+              f"({verified})")
+    summary = data["summary"]
+    print(f"\ncandidates on {len(summary['with_candidates'])}"
+          f"/{summary['workloads']} workload(s); "
+          f"predictions verified against live simulation on "
+          f"{len(summary['verified_identical'])}")
+    print(f"written to {args.out}")
+    if not summary["all_verified"]:
+        print("error: trace-grounded predictions diverged from live "
+              "simulation", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_workloads(args: argparse.Namespace) -> int:
     from repro.workloads import all_workloads, extra_workloads
 
@@ -561,6 +657,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_speed.add_argument("--no-privatize", action="store_true",
                          help="keep WAR/WAW constraints")
     p_speed.set_defaults(func=_cmd_speedup)
+
+    p_adv = sub.add_parser(
+        "advise",
+        help="what-if advisor: rank constructs by predicted futures "
+             "speedup from a replayed trace")
+    p_adv.add_argument("file")
+    p_adv.add_argument("--workers", default="2,4,8,16", metavar="LIST",
+                       help="comma-separated worker counts to sweep "
+                            "(default: 2,4,8,16)")
+    p_adv.add_argument("--top", type=int, default=8,
+                       help="candidate constructs taken from the "
+                            "advisor (default 8)")
+    p_adv.add_argument("--json", action="store_true",
+                       help="emit the ranked sweep as JSON")
+    p_adv.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="processes for the task-graph extraction "
+                            "pass (0 = one per CPU; results identical "
+                            "to serial)")
+    p_adv.set_defaults(func=_cmd_advise)
 
     p_ann = sub.add_parser("annotate",
                            help="annotated guidance for one construct")
@@ -679,6 +794,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_bp.add_argument("--out", default="BENCH_parallel.json",
                       help="artifact path")
     p_bp.set_defaults(func=_cmd_bench_parallel)
+
+    p_ba = sub.add_parser(
+        "bench-advise",
+        help="what-if advisor over the Table III workloads, verified "
+             "against live simulation (writes BENCH_advisor.json)")
+    p_ba.add_argument("--workloads", default="",
+                      help="comma-separated workload names "
+                           "(default: all Table III workloads)")
+    p_ba.add_argument("--workers", default="2,4,8,16", metavar="LIST",
+                      help="comma-separated worker counts to sweep")
+    p_ba.add_argument("--scale", type=float, default=0.5)
+    p_ba.add_argument("--out", default="BENCH_advisor.json",
+                      help="artifact path")
+    p_ba.set_defaults(func=_cmd_bench_advise)
 
     p_wl = sub.add_parser("workloads", help="list bundled benchmarks")
     p_wl.add_argument("--extra", action="store_true",

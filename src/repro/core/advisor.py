@@ -45,6 +45,39 @@ class Recommendation:
     join_hints: list[EdgeStats] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
 
+    @property
+    def blocked_reason(self) -> str | None:
+        """Why this construct must be skipped by a what-if sweep, or
+        ``None`` when it is simulatable. The what-if advisor reports
+        this verbatim instead of fabricating a speedup for a construct
+        the paper's transformations cannot unlock."""
+        if self.verdict is not Verdict.BLOCKED:
+            return None
+        edges = self.blocking_raw
+        sites = sorted({e.var_hint or f"pc{e.head_pc}" for e in edges})
+        shown = ", ".join(sites[:4]) + (", ..." if len(sites) > 4 else "")
+        return (f"{len(edges)} violating RAW edge(s) between instances "
+                f"({shown}); continuation reads values produced too "
+                "late")
+
+    def summary(self) -> dict:
+        """Deterministic, JSON-able digest of this recommendation."""
+        return {
+            "name": self.view.name,
+            "pc": self.view.pc,
+            "line": self.view.line,
+            "fn": self.view.fn_name,
+            "kind": self.view.kind.value,
+            "verdict": self.verdict.value,
+            "score": round(self.score, 6),
+            "size_fraction": round(self.view.size_fraction(), 6),
+            "instances": self.view.instances,
+            "privatize": list(self.privatize),
+            "blocking_raw": len(self.blocking_raw),
+            "join_hints": len(self.join_hints),
+            "notes": list(self.notes),
+        }
+
     def describe(self) -> str:
         lines = [f"{self.view.describe()} -> {self.verdict.value.upper()}"
                  f" (score {self.score:.3f})"]
@@ -89,13 +122,18 @@ class Advisor:
         deferrable = view.violating_continuation(DepKind.RAW)
         safe_raw = deferrable + [e for e in view.edges(DepKind.RAW)
                                  if e.min_tdep > view.tdur]
-        privatize: list[str] = []
+        # Order by the serially-first conflicting write (EdgeStats
+        # pins first_t to the first observation), name as tie-break: a
+        # total order, so serial and merged-parallel profiles — whose
+        # edge dicts iterate differently — advise identically.
+        first_seen: dict[str, int] = {}
         for kind in (DepKind.WAW, DepKind.WAR):
             for edge in view.violating(kind):
                 hint = edge.var_hint or f"pc{edge.head_pc}"
                 base = hint.split("[")[0]
-                if base not in privatize:
-                    privatize.append(base)
+                if base not in first_seen or edge.first_t < first_seen[base]:
+                    first_seen[base] = edge.first_t
+        privatize = sorted(first_seen, key=lambda b: (first_seen[b], b))
 
         if blocking:
             verdict = Verdict.BLOCKED

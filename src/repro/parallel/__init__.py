@@ -13,16 +13,28 @@ paper's privatization transformations; keeping them is the ablation
 showing why those transformations matter.
 """
 
-from repro.parallel.estimator import SpeedupResult, estimate_speedup
+from repro.parallel.estimator import (EstimatorError, SpeedupResult,
+                                      estimate_speedup, find_construct,
+                                      simulate_speedup)
 from repro.parallel.simulator import FutureSimulator, ScheduleResult
-from repro.parallel.taskgraph import TaskGraph, TaskGraphTracer, TaskNode
+from repro.parallel.taskgraph import (LiveSource, TaskGraph,
+                                      TaskGraphTracer, TaskNode,
+                                      TraceSource, extract_task_graph,
+                                      extract_task_graphs)
 
 __all__ = [
     "TaskGraph",
     "TaskGraphTracer",
     "TaskNode",
+    "LiveSource",
+    "TraceSource",
+    "extract_task_graph",
+    "extract_task_graphs",
     "FutureSimulator",
     "ScheduleResult",
     "SpeedupResult",
+    "EstimatorError",
     "estimate_speedup",
+    "find_construct",
+    "simulate_speedup",
 ]

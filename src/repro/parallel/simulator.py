@@ -33,7 +33,10 @@ class ScheduleResult:
 
     @property
     def speedup(self) -> float:
-        return self.t_seq / self.makespan if self.makespan else 1.0
+        # makespan == 0 means the schedule ran nothing (no tasks, no
+        # serial work). The honest answer is 0.0, not a fabricated
+        # "x1.00" — estimate_speedup refuses such graphs up front.
+        return self.t_seq / self.makespan if self.makespan else 0.0
 
 
 class FutureSimulator:

@@ -1,8 +1,11 @@
 """Task-graph extraction from a profiled sequential run.
 
 Pick a construct (typically a loop — its instances are iterations, per
-the paper's rule 4, or a procedure — its instances are calls). Execute
-the program once under :class:`TaskGraphTracer`; the run is partitioned
+the paper's rule 4, or a procedure — its instances are calls). Drive
+one event stream through :class:`TaskGraphTracer` — a live interpreter
+run (:class:`LiveSource`) or a recorded trace replayed without
+re-execution (:class:`TraceSource`); the two produce identical graphs
+because the tracer only consumes hook events. The run is partitioned
 into
 
     serial[0] task[0] serial[1] task[1] ... task[n-1] serial[n]
@@ -23,12 +26,15 @@ dependences between different tags become edges:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from typing import Iterable, Mapping
 
 from repro.analysis.constructs import ConstructTable
 from repro.core.tracer import AlchemistTracer
 from repro.ir.cfg import ProgramIR
 from repro.runtime.interpreter import Interpreter
+from repro.runtime.tracing import TeeTracer, Tracer
 
 #: Tag for "currently in serial segment k": encoded as -(k + 1).
 def _serial_tag(segment: int) -> int:
@@ -255,9 +261,101 @@ def resolve_private_globals(program: ProgramIR,
     """Addresses of privatized global variables (whole arrays included)."""
     addrs: set[int] = set()
     for name in names:
-        info = program.global_var(name)
+        try:
+            info = program.global_var(name)
+        except KeyError:
+            known = ", ".join(v.name for v in program.globals_layout) \
+                or "none"
+            raise ValueError(
+                f"no global variable named {name!r} to privatize "
+                f"(known globals: {known})") from None
         addrs.update(range(info.offset, info.offset + info.size))
     return frozenset(addrs)
+
+
+# ---------------------------------------------------------------------------
+# Event sources: where the hook stream comes from
+# ---------------------------------------------------------------------------
+
+class LiveSource:
+    """Event source that executes ``program`` under the interpreter."""
+
+    def __init__(self, program: ProgramIR, max_steps: int | None = None):
+        self.program = program
+        self.max_steps = max_steps
+
+    def drive(self, tracers: list[Tracer]) -> None:
+        tracer = tracers[0] if len(tracers) == 1 else TeeTracer(tracers)
+        if self.max_steps is None:
+            Interpreter(self.program, tracer).run()
+        else:
+            Interpreter(self.program, tracer, self.max_steps).run()
+
+
+class TraceSource:
+    """Event source that replays a recorded trace — no re-execution.
+
+    The program is recompiled once from the digest-checked source
+    embedded in the trace header unless the caller already has it.
+    Every tracer observes the exact hook stream the recording captured,
+    so graphs extracted here equal the live ones event for event.
+    """
+
+    def __init__(self, path: str | os.PathLike,
+                 program: ProgramIR | None = None):
+        self.path = os.fspath(path)
+        if program is None:
+            from repro.ir.lowering import compile_source
+            from repro.trace.events import source_digest
+            from repro.trace.reader import TraceReader
+
+            with TraceReader(self.path) as reader:
+                header = reader.header
+            if source_digest(header.source) != header.digest:
+                from repro.trace.events import TraceError
+
+                raise TraceError(
+                    f"{self.path}: embedded source does not match the "
+                    "header digest (corrupt trace)")
+            program = compile_source(header.source, header.filename)
+        self.program = program
+
+    def drive(self, tracers: list[Tracer]) -> None:
+        from repro.trace.reader import TraceReader
+        from repro.trace.replay import ReplayEngine
+
+        with TraceReader(self.path) as reader:
+            ReplayEngine(reader, self.program).run(tracers)
+
+
+def extract_task_graphs(source: "LiveSource | TraceSource",
+                        targets: Mapping[int, tuple[str, ...]]
+                                 | Iterable[int],
+                        pool_size: int = 4096,
+                        auto_induction: bool = True
+                        ) -> dict[int, TaskGraph]:
+    """Extract task graphs for several candidate constructs in ONE pass.
+
+    ``targets`` maps construct head pc -> globals to privatize for that
+    candidate (an iterable of pcs means no privatization). Each target
+    gets its own :class:`TaskGraphTracer`; all of them ride the same
+    event stream, so the cost of the sweep is one execution or one
+    replay regardless of how many candidates are assessed.
+    """
+    if not isinstance(targets, Mapping):
+        targets = {pc: () for pc in targets}
+    program = source.program
+    table = ConstructTable(program)
+    tracers: dict[int, TaskGraphTracer] = {}
+    for pc, private_vars in targets.items():
+        skip = resolve_private_globals(program, tuple(private_vars))
+        induction = (induction_offsets_of(program, pc)
+                     if auto_induction else frozenset())
+        tracers[pc] = TaskGraphTracer(table, pc, pool_size, skip,
+                                      induction)
+    if tracers:
+        source.drive(list(tracers.values()))
+    return {pc: tracer.graph() for pc, tracer in tracers.items()}
 
 
 def extract_task_graph(program: ProgramIR, target_pc: int,
@@ -266,14 +364,13 @@ def extract_task_graph(program: ProgramIR, target_pc: int,
                        auto_induction: bool = True) -> TaskGraph:
     """Run ``program`` once and extract the task graph for ``target_pc``.
 
-    ``private_vars`` names globals the (simulated) transformation gives
-    each thread a private copy of; ``auto_induction`` additionally skips
-    the loop's own control variables.
+    Compatibility shim over :func:`extract_task_graphs` with a
+    :class:`LiveSource`; ``private_vars`` names globals the (simulated)
+    transformation gives each thread a private copy of;
+    ``auto_induction`` additionally skips the loop's own control
+    variables.
     """
-    table = ConstructTable(program)
-    skip = resolve_private_globals(program, private_vars)
-    induction = (induction_offsets_of(program, target_pc)
-                 if auto_induction else frozenset())
-    tracer = TaskGraphTracer(table, target_pc, pool_size, skip, induction)
-    Interpreter(program, tracer).run()
-    return tracer.graph()
+    graphs = extract_task_graphs(
+        LiveSource(program), {target_pc: tuple(private_vars)},
+        pool_size=pool_size, auto_induction=auto_induction)
+    return graphs[target_pc]

@@ -54,6 +54,11 @@ class BatchJob:
     #: process (fork-start platforms inherit the parent registry, spawn
     #: platforms re-import only the builtins).
     plugin_modules: tuple[str, ...] = ()
+    #: Per-analysis options for replay jobs, as nested (name, value)
+    #: pairs so the job stays hashable: e.g.
+    #: ``(("whatif", (("workers", "2,4"), ("top", 3))),)``. Validated
+    #: against each plugin's OptionSpec schema in the worker.
+    options: tuple[tuple[str, tuple[tuple[str, Any], ...]], ...] = ()
 
 
 @dataclass
@@ -101,7 +106,16 @@ def run_job(job: BatchJob) -> BatchResult:
             # AnalysisResult.data is JSON-able, hence picklable. Legacy
             # result()-protocol consumers may produce no data dict —
             # fall back to their raw payload (pre-registry behaviour).
-            outcome = replay_trace(job.trace_path, job.analyses)
+            if job.options:
+                from repro.analyses import make_analyses
+                from repro.trace.replay import replay_with
+
+                option_map = {name: dict(pairs)
+                              for name, pairs in job.options}
+                consumers = make_analyses(job.analyses, option_map)
+                outcome = replay_with(job.trace_path, consumers)
+            else:
+                outcome = replay_trace(job.trace_path, job.analyses)
             payload = {
                 name: (report.data if report.data
                        or report.payload is None else report.payload)
@@ -193,23 +207,38 @@ class BatchReport:
         return "\n".join(lines)
 
 
+def freeze_options(options: dict | None
+                   ) -> tuple[tuple[str, tuple[tuple[str, Any], ...]], ...]:
+    """Nested {analysis: {option: value}} dict -> the hashable tuple
+    shape :class:`BatchJob.options` carries across process boundaries."""
+    if not options:
+        return ()
+    return tuple(sorted(
+        (name, tuple(sorted(opts.items())))
+        for name, opts in options.items()))
+
+
 def record_replay_many(workload_names: list[str], out_dir: str,
                        analyses: tuple[str, ...] = DEFAULT_ANALYSES,
                        workers: int | None = None,
                        scale: float = 1.0,
                        plugin_modules: tuple[str, ...] = (),
                        sampling: str = "full",
-                       version: int | None = None) -> BatchReport:
+                       version: int | None = None,
+                       options: dict | None = None) -> BatchReport:
     """Record every workload, then replay every trace, both in parallel.
 
     The two phases are separated by a barrier (a replay needs its trace
     on disk); within each phase jobs run concurrently. Pass the modules
     that ``@register`` your custom analyses via ``plugin_modules`` so
     spawned workers can resolve them too. ``sampling``/``version``
-    configure the record phase (see :func:`repro.trace.record_source`).
+    configure the record phase (see :func:`repro.trace.record_source`);
+    ``options`` carries per-analysis options into every replay job
+    (``{"whatif": {"workers": "2,4"}}``).
     """
     os.makedirs(out_dir, exist_ok=True)
     start = _time.perf_counter()
+    frozen = freeze_options(options)
     record_jobs = [
         BatchJob(kind="record", name=name, workload=name, scale=scale,
                  trace_path=os.path.join(out_dir, f"{name}.trace"),
@@ -220,7 +249,8 @@ def record_replay_many(workload_names: list[str], out_dir: str,
     replay_jobs = [
         BatchJob(kind="replay", name=job.name, trace_path=job.trace_path,
                  analyses=tuple(analyses),
-                 plugin_modules=tuple(plugin_modules))
+                 plugin_modules=tuple(plugin_modules),
+                 options=frozen)
         for job, result in zip(record_jobs, records) if result.ok
     ]
     replays = run_batch(replay_jobs, workers)

@@ -308,6 +308,7 @@ def parallel_replay(path: str | os.PathLike,
         wall_seconds=wall,
         mode="replay",
         sampling=None if sampling in (None, "", "full") else sampling,
+        trace_path=path,
     )
     merge_start = _time.perf_counter()
     reports: dict[str, AnalysisResult] = {}

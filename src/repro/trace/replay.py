@@ -263,6 +263,7 @@ class ReplayEngine:
             wall_seconds=wall,
             mode="replay",
             sampling=None if sampling in (None, "", "full") else sampling,
+            trace_path=reader.path,
         )
 
 

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 from dataclasses import dataclass, field
 
 from repro.trace.events import (EV_ALLOC, EV_BLOCK, EV_BRANCH,
@@ -432,14 +433,37 @@ def load_or_build_checkpoints(path: str | os.PathLike,
             pass
     checkpoints = build_checkpoints(path, interval)
     if sidecar:
-        try:
-            with open(side, "w") as handle:
-                json.dump(dict(key, checkpoints=[c.to_payload()
-                                                 for c in checkpoints]),
-                          handle)
-        except OSError:
-            pass
+        _write_sidecar(side, dict(key, checkpoints=[c.to_payload()
+                                                    for c in checkpoints]))
     return checkpoints
+
+
+def _write_sidecar(side: str, payload: dict) -> None:
+    """Atomically publish the sidecar: write a temp file in the same
+    directory, then ``os.replace`` it into place. A crash mid-dump or a
+    concurrent parallel replay therefore never observes a torn file —
+    readers see either the old complete sidecar or the new one (a torn
+    sidecar would silently force a rescan on every later replay).
+    I/O failures degrade to not caching, never to an error."""
+    fd = None
+    tmp = None
+    try:
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(side) or ".",
+            prefix=os.path.basename(side) + ".", suffix=".tmp")
+        with os.fdopen(fd, "w") as handle:
+            fd = None  # os.fdopen owns the descriptor now
+            json.dump(payload, handle)
+        os.replace(tmp, side)
+        tmp = None
+    except OSError:
+        if fd is not None:
+            os.close(fd)
+        if tmp is not None:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
 
 
 # ---------------------------------------------------------------------------

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.ir import compile_source
-from repro.parallel.estimator import estimate_speedup, find_construct
+from repro.parallel.estimator import (EstimatorError, estimate_speedup,
+                                      find_construct)
 from repro.parallel.taskgraph import extract_task_graph, induction_offsets_of
 
 INDEPENDENT = """
@@ -146,7 +147,9 @@ class TestEstimator:
 
     def test_find_construct_unknown_line(self):
         program = compile_source(INDEPENDENT)
-        with pytest.raises(KeyError):
+        with pytest.raises(EstimatorError,
+                           match=r"no construct at line 9999.*lines "
+                                 r"heading constructs"):
             find_construct(program, line=9999)
 
     def test_describe(self):
