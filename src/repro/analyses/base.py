@@ -225,6 +225,18 @@ class AnalysisContext:
     #: instead of re-executing the program. Never part of result data —
     #: it would break live/replay parity.
     trace_path: str | None = None
+    #: Telemetry handle of the engine that drove the events (never
+    #: None — defaults to the shared no-op). Plugins emit their own
+    #: spans/counters through it (``with ctx.telemetry.span(...)``);
+    #: like the other context fields it must never leak into
+    #: ``AnalysisResult.data`` (telemetry on/off cannot change results).
+    telemetry: Any = None
+
+    def __post_init__(self) -> None:
+        if self.telemetry is None:
+            from repro.telemetry import NULL_TELEMETRY
+
+            self.telemetry = NULL_TELEMETRY
 
     @property
     def footer(self) -> _FooterView:

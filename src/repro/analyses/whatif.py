@@ -249,38 +249,46 @@ def _advise(report: ProfileReport, ctx: AnalysisContext,
         else:
             simulate.append(rec)
 
+    from repro.telemetry import as_telemetry
+
+    tm = as_telemetry(getattr(ctx, "telemetry", None))
     targets = {rec.view.pc: _private_globals(ctx.program, rec)
                for rec in simulate}
-    graphs = _extract(ctx, targets, jobs) if targets else {}
+    with tm.span("advisor.extract", candidates=len(targets), jobs=jobs):
+        graphs = _extract(ctx, targets, jobs) if targets else {}
 
     candidates: list[dict[str, Any]] = []
-    for rec in simulate:
-        graph = graphs[rec.view.pc]
-        entry = rec.summary()
-        entry["privatized_globals"] = list(targets[rec.view.pc])
-        if not graph.tasks:
-            entry["reason"] = ("construct executed no instances — "
-                               "nothing to schedule")
-            skipped.append(entry)
-            continue
-        entry["tasks"] = len(graph.tasks)
-        entry["parallel_fraction"] = round(graph.parallel_fraction(), 6)
-        sweep: dict[str, Any] = {}
-        best: dict[str, Any] | None = None
-        for workers in worker_counts:
-            schedule = FutureSimulator(workers).schedule(graph)
-            point = {
-                "speedup": round(schedule.speedup, 4),
-                "t_seq": schedule.t_seq,
-                "t_par": schedule.makespan,
-                "join_stall": schedule.join_stall,
-            }
-            sweep[str(workers)] = point
-            if best is None or point["speedup"] > best["speedup"]:
-                best = dict(point, workers=workers)
-        entry["speedups"] = sweep
-        entry["best"] = best
-        candidates.append(entry)
+    with tm.span("advisor.sweep", candidates=len(simulate),
+                 workers=list(worker_counts)):
+        for rec in simulate:
+            graph = graphs[rec.view.pc]
+            entry = rec.summary()
+            entry["privatized_globals"] = list(targets[rec.view.pc])
+            if not graph.tasks:
+                entry["reason"] = ("construct executed no instances — "
+                                   "nothing to schedule")
+                skipped.append(entry)
+                continue
+            entry["tasks"] = len(graph.tasks)
+            entry["parallel_fraction"] = round(
+                graph.parallel_fraction(), 6)
+            sweep: dict[str, Any] = {}
+            best: dict[str, Any] | None = None
+            for workers in worker_counts:
+                schedule = FutureSimulator(workers).schedule(graph)
+                point = {
+                    "speedup": round(schedule.speedup, 4),
+                    "t_seq": schedule.t_seq,
+                    "t_par": schedule.makespan,
+                    "join_stall": schedule.join_stall,
+                }
+                sweep[str(workers)] = point
+                if best is None or point["speedup"] > best["speedup"]:
+                    best = dict(point, workers=workers)
+            entry["speedups"] = sweep
+            entry["best"] = best
+            candidates.append(entry)
+    tm.count("advisor.candidates_swept", len(candidates))
 
     # Rank by payoff: best predicted speedup first; ties fall back to
     # the advisor's ordering (already verdict-then-size) and finally

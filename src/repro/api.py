@@ -107,9 +107,15 @@ class Session:
     """
 
     def __init__(self, options: ProfileOptions | None = None,
-                 cache_dir: str | os.PathLike | None = None):
+                 cache_dir: str | os.PathLike | None = None,
+                 telemetry=None):
+        from repro.telemetry import as_telemetry
+
         self.options = options if options is not None else ProfileOptions()
         self.stats = SessionStats()
+        #: Observability handle threaded through every stage this
+        #: session drives (``repro.telemetry``); disabled by default.
+        self.telemetry = as_telemetry(telemetry)
         # Programs are keyed by (digest, filename): same content under a
         # new name recompiles so reports attribute to the right file.
         # Traces are keyed by (digest, sampling spec, format version) —
@@ -154,8 +160,11 @@ class Session:
         cached = self._programs.get(key)
         if cached is not None:
             self.stats.compile_hits += 1
+            self.telemetry.count("session.compile_cache_hits")
             return cached
-        program = compile_source(source, filename)
+        self.telemetry.count("session.compile_cache_misses")
+        with self.telemetry.span("compile", file=filename):
+            program = compile_source(source, filename)
         self._programs[key] = program
         self.stats.compiles += 1
         return program
@@ -181,14 +190,17 @@ class Session:
         cached = self._traces.get(key)
         if cached is not None:
             self.stats.record_hits += 1
+            self.telemetry.count("session.trace_cache_hits")
             return cached
+        self.telemetry.count("session.trace_cache_misses")
         program = self.compile(source, filename)
         path = os.path.join(self._trace_dir(), self._trace_name(key))
         record_program(program, path, source=source, filename=filename,
                        max_steps=self.options.max_steps,
                        version=self.options.trace_format,
                        sampling=self.options.sample,
-                       checkpoint_interval=self.options.checkpoints)
+                       checkpoint_interval=self.options.checkpoints,
+                       telemetry=self.telemetry)
         self._traces[key] = path
         self.stats.records += 1
         return path
@@ -232,51 +244,55 @@ class Session:
                 + ", ".join(stray))
         merged = self._merge_options(options)
         instances = make_analyses(requested, merged)
-        start = _time.perf_counter()
 
-        live: list[Analysis] = []
-        replayed: list[Analysis] = []
-        for analysis in instances:
-            if mode == "live" or analysis.requires_live:
-                live.append(analysis)
-            else:
-                replayed.append(analysis)
-        if mode == "replay" and live:
-            names = ", ".join(a.name for a in live)
-            raise AnalysisError(
-                f"analysis requires live execution: {names} "
-                "(mode='replay' forbids attaching analyses to a live "
-                "run)")
+        with self.telemetry.span("analyze", file=filename,
+                                 analyses=list(requested),
+                                 mode=mode) as span:
+            live: list[Analysis] = []
+            replayed: list[Analysis] = []
+            for analysis in instances:
+                if mode == "live" or analysis.requires_live:
+                    live.append(analysis)
+                else:
+                    replayed.append(analysis)
+            if mode == "replay" and live:
+                names = ", ".join(a.name for a in live)
+                raise AnalysisError(
+                    f"analysis requires live execution: {names} "
+                    "(mode='replay' forbids attaching analyses to a live "
+                    "run)")
 
-        results: dict[str, AnalysisResult] = {}
-        modes: dict[str, str] = {}
-        trace_path: str | None = None
-        live_ctx: AnalysisContext | None = None
-        if replayed:
-            program = self.compile(source, filename)
-            if live and self._trace_key(source_digest(source)) \
-                    not in self._traces:
-                # Mixed request on a cold cache: one execution both
-                # records the trace and feeds the live analyses (the
-                # writer is just another tracer on the tee).
-                trace_path, live_ctx = self._record_and_run_live(
-                    source, filename, live)
-            else:
-                trace_path = self.record(source, filename)
-            reports, replay_mode = self._replay(trace_path, program,
-                                                replayed, merged)
-            for analysis in replayed:
-                results[analysis.name] = reports[analysis.name]
-                modes[analysis.name] = replay_mode
-        if live:
-            if live_ctx is None:
-                live_ctx = self._run_live(source, filename, live)
-            for analysis in live:
-                report = analysis.finish(live_ctx)
-                analysis.last_result = report
-                results[analysis.name] = report
-                modes[analysis.name] = "live"
-            self._attach_baseline(results, live)
+            results: dict[str, AnalysisResult] = {}
+            modes: dict[str, str] = {}
+            trace_path: str | None = None
+            live_ctx: AnalysisContext | None = None
+            if replayed:
+                program = self.compile(source, filename)
+                if live and self._trace_key(source_digest(source)) \
+                        not in self._traces:
+                    # Mixed request on a cold cache: one execution both
+                    # records the trace and feeds the live analyses (the
+                    # writer is just another tracer on the tee).
+                    trace_path, live_ctx = self._record_and_run_live(
+                        source, filename, live)
+                else:
+                    trace_path = self.record(source, filename)
+                reports, replay_mode = self._replay(trace_path, program,
+                                                    replayed, merged)
+                for analysis in replayed:
+                    results[analysis.name] = reports[analysis.name]
+                    modes[analysis.name] = replay_mode
+            if live:
+                if live_ctx is None:
+                    live_ctx = self._run_live(source, filename, live)
+                for analysis in live:
+                    with self.telemetry.span("analysis.finish",
+                                             analysis=analysis.name):
+                        report = analysis.finish(live_ctx)
+                    analysis.last_result = report
+                    results[analysis.name] = report
+                    modes[analysis.name] = "live"
+                self._attach_baseline(results, live)
 
         # Report results in request order, not execution order.
         ordered = {a.name: results[a.name] for a in instances}
@@ -286,7 +302,7 @@ class Session:
             results=ordered,
             modes={name: modes[name] for name in ordered},
             trace_path=trace_path,
-            wall_seconds=_time.perf_counter() - start,
+            wall_seconds=span.wall_seconds,
         )
 
     def advise(self, source: str, *, filename: str = "<input>",
@@ -340,7 +356,8 @@ class Session:
                 outcome = parallel_replay(
                     trace_path, names, jobs=jobs,
                     options={name: dict(merged_options.get(name, {}))
-                             for name in names})
+                             for name in names},
+                    telemetry=self.telemetry)
                 # The driver ran its own instances (workers, or the
                 # serial fallback); stash results on the session's so
                 # the deprecated describe() surface works either way.
@@ -352,7 +369,8 @@ class Session:
                 return outcome.reports, "replay"
         from repro.trace.replay import replay_with
 
-        outcome = replay_with(trace_path, replayed, program)
+        outcome = replay_with(trace_path, replayed, program,
+                              telemetry=self.telemetry)
         return outcome.reports, "replay"
 
     def _merge_options(self, options: Mapping | None
@@ -376,14 +394,17 @@ class Session:
         tracers = ([recorder] if recorder is not None else []) + analyses
         tee = TeeTracer(tracers)
         interp = Interpreter(program, tee, self.options.max_steps)
-        start = _time.perf_counter()
-        try:
-            exit_value = interp.run()
-        except BaseException:
-            if recorder is not None:
-                recorder.abort()
-            raise
-        wall = _time.perf_counter() - start
+        with self.telemetry.span(
+                "live", file=filename,
+                analyses=[a.name for a in analyses],
+                recording=recorder is not None) as span:
+            try:
+                exit_value = interp.run()
+            except BaseException:
+                if recorder is not None:
+                    recorder.abort()
+                raise
+        wall = span.wall_seconds
         if recorder is not None:
             recorder.close(exit_value, interp.output)
         self.stats.live_runs += 1
@@ -396,6 +417,7 @@ class Session:
             events=None,
             wall_seconds=wall,
             mode="live",
+            telemetry=self.telemetry,
         )
 
     def _record_and_run_live(self, source: str, filename: str,
@@ -419,9 +441,21 @@ class Session:
                              sampling=policy.spec,
                              checkpoint_interval=self.options.checkpoints)
         recorder = (writer if policy.is_full
-                    else SampledTracer(policy, writer))
+                    else SampledTracer(policy, writer,
+                                       telemetry=self.telemetry))
         ctx = self._run_live(source, filename, analyses,
                              recorder=recorder)
+        tm = self.telemetry
+        if tm.enabled:
+            tm.count("session.trace_cache_misses")
+            tm.count("trace.events_written", writer.events)
+            tm.count("trace.bytes_written", os.path.getsize(writer.path))
+            tm.count("trace.checkpoint_seams_written",
+                     len(writer._checkpoints))
+            if not policy.is_full:
+                tm.count("sampling.memory_events_kept", recorder.kept)
+                tm.count("sampling.memory_events_dropped",
+                         recorder.dropped)
         self._traces[key] = path
         self.stats.records += 1
         return path, ctx

@@ -16,7 +16,6 @@ list, so the artifact shows the advisor's pick next to the paper's.
 
 from __future__ import annotations
 
-import json
 import os
 import tempfile
 from typing import Any, Iterable
@@ -26,6 +25,7 @@ from repro.ir.lowering import compile_source
 from repro.parallel.estimator import (EstimatorError, find_construct,
                                       simulate_speedup)
 from repro.parallel.taskgraph import LiveSource, extract_task_graphs
+from repro.util import atomic_write_json
 from repro.workloads import get
 from repro.workloads.registry import TABLE3_ORDER
 
@@ -134,6 +134,5 @@ def advisor_bench(names: list[str] | None = None, scale: float = 0.5,
                                 for r in rows),
         },
     }
-    with open(out_path, "w") as handle:
-        json.dump(data, handle, indent=2, sort_keys=True)
+    atomic_write_json(out_path, data, sort_keys=True)
     return data

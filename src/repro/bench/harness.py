@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import json
 import time
 from dataclasses import asdict, dataclass
 
@@ -11,6 +10,7 @@ from repro.core.profile_data import DepKind
 from repro.core.report import ConflictCounts, Fig6Row, ProfileReport
 from repro.ir.lowering import compile_source
 from repro.parallel.estimator import SpeedupResult, estimate_speedup
+from repro.util import atomic_write_json
 from repro.workloads import all_workloads, get
 from repro.workloads.base import Workload
 
@@ -391,9 +391,7 @@ def trace_bench(names: list[str] | None = None, scale: float = 0.5,
         },
     }
     if out_path:
-        with open(out_path, "w") as handle:
-            json.dump(data, handle, indent=2)
-            handle.write("\n")
+        atomic_write_json(out_path, data)
     return data
 
 
@@ -521,7 +519,5 @@ def parallel_bench(names: list[str] | None = None, scale: float = 2.0,
         },
     }
     if out_path:
-        with open(out_path, "w") as handle:
-            json.dump(data, handle, indent=2)
-            handle.write("\n")
+        atomic_write_json(out_path, data)
     return data

@@ -24,12 +24,12 @@ greppable fact rather than a claim.
 
 from __future__ import annotations
 
-import json
 import os
 import tempfile
 import time as _time
 from typing import Any, Iterable
 
+from repro.util import atomic_write_json
 from repro.workloads import get
 from repro.workloads import names as workload_names
 
@@ -190,7 +190,5 @@ def sampling_bench(names: list[str] | None = None, scale: float = 0.5,
         "summary": _summarize(rows, policies),
     }
     if out_path:
-        with open(out_path, "w") as handle:
-            json.dump(data, handle, indent=2)
-            handle.write("\n")
+        atomic_write_json(out_path, data)
     return data

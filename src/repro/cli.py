@@ -37,8 +37,13 @@ Subcommands
     analyses — no re-execution. v1 and v2 traces replay alike.
 ``info x.trace``
     Inspect a trace without replaying it: format version, header
-    provenance (digest, sampling policy), event counts by type, and
+    provenance (digest, sampling policy), event counts by type,
+    checkpoint seams (embedded, sidecar-cached, or none), and
     compressed vs. uncompressed sizes.
+``stats m.json``
+    Render a ``--metrics`` artifact: the hierarchical span tree with
+    wall/CPU timings, counters, gauges, and derived rates
+    (events/second, cache hit ratios, pool utilization).
 ``batch``
     Record and replay many workloads concurrently (multiprocessing);
     analyses resolve through the registry; ``--bench`` also writes the
@@ -59,6 +64,13 @@ Subcommands
 Every verb that takes a ``FILE`` reports a missing/unreadable path as
 a one-line ``error: ...`` on stderr with exit code 2 (handled centrally
 in :func:`main`), never a traceback.
+
+Stream discipline: results (reports, JSON payloads) go to **stdout**;
+progress lines, structured logs, and error diagnostics go to
+**stderr**. The instrumented verbs (``analyze``, ``record``,
+``replay``, ``batch``, ``advise``) share the observability flags
+``--metrics FILE``, ``--log-level LEVEL``, ``-q/--quiet`` and
+``-v/--verbose``; ``ALCHEMIST_LOG`` sets the log level everywhere.
 """
 
 from __future__ import annotations
@@ -70,6 +82,7 @@ from repro.core.advisor import Advisor
 from repro.core.alchemist import ProfileOptions
 from repro.core.profile_data import DepKind
 from repro.runtime.interpreter import run_source
+from repro.telemetry import LOG_LEVELS
 from repro.version import __version__
 
 
@@ -80,6 +93,77 @@ class CliError(Exception):
 def _read(path: str) -> str:
     with open(path) as handle:
         return handle.read()
+
+
+def _add_observability(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared observability flags to an instrumented verb."""
+    group = parser.add_argument_group("observability")
+    group.add_argument("--metrics", default=None, metavar="FILE",
+                       help="write this run's span tree and counters "
+                            "as a schema-versioned JSON artifact "
+                            "(render with `alchemist stats FILE`)")
+    group.add_argument("--log-level", default=None, choices=LOG_LEVELS,
+                       metavar="LEVEL",
+                       help="structured JSON logs on stderr at LEVEL "
+                            f"({'/'.join(LOG_LEVELS)}; default: "
+                            "$ALCHEMIST_LOG or warning)")
+    volume = group.add_mutually_exclusive_group()
+    volume.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress progress lines on stderr "
+                             "(results on stdout are unaffected) and "
+                             "log at error")
+    volume.add_argument("-v", "--verbose", action="store_true",
+                        help="shorthand for --log-level info")
+
+
+def _observability(args: argparse.Namespace) -> None:
+    """Configure logging and build the run's Telemetry (or None).
+
+    Level precedence: ``--log-level`` beats ``-v``/``-q`` beats
+    ``$ALCHEMIST_LOG`` beats the ``warning`` default. Runs for every
+    verb — the environment variable works even where the flags don't
+    exist — so ``getattr`` defaults cover the uninstrumented verbs.
+    """
+    from repro.telemetry import Telemetry, configure_logging
+
+    if getattr(args, "log_level", None):
+        configure_logging(level=args.log_level)
+    elif getattr(args, "verbose", False):
+        configure_logging(level="info")
+    elif getattr(args, "quiet", False):
+        configure_logging(level="error")
+    else:
+        configure_logging()
+    args.telemetry = (Telemetry() if getattr(args, "metrics", None)
+                      else None)
+
+
+def _progress(args: argparse.Namespace, message: str = "") -> None:
+    """Progress/summary lines: stderr, silenced by ``--quiet``.
+    Results (reports, JSON payloads) never come through here."""
+    if not getattr(args, "quiet", False):
+        print(message, file=sys.stderr)
+
+
+def _publish_metrics(args: argparse.Namespace,
+                     argv: list[str] | None, code: int) -> None:
+    """Atomically publish the ``--metrics`` artifact after the verb."""
+    tm = getattr(args, "telemetry", None)
+    if tm is None or not getattr(args, "metrics", None):
+        return
+    from repro.telemetry import metrics_payload
+    from repro.util import atomic_write_json
+
+    payload = metrics_payload(
+        tm, command=args.command,
+        argv=list(argv) if argv is not None else sys.argv[1:],
+        exit_code=code)
+    try:
+        atomic_write_json(args.metrics, payload, sort_keys=True)
+    except OSError as exc:
+        # The verb's own result already went out; an unwritable metrics
+        # path must not retroactively turn it into a failure.
+        print(f"error: --metrics {args.metrics}: {exc}", file=sys.stderr)
 
 
 def _profile_options(args: argparse.Namespace) -> ProfileOptions:
@@ -114,7 +198,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     except ValueError as exc:
         raise CliError(str(exc)) from None
     source = _read(args.file)
-    with Session(session_options) as session:
+    with Session(session_options, telemetry=args.telemetry) as session:
         report = session.analyze(source, args.analysis,
                                  filename=args.file,
                                  mode="live" if args.live else "auto",
@@ -129,9 +213,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         parts.append(f"replayed 1 recording through {replayed}")
     if live:
         parts.append(f"ran live for {live}")
-    print(f"analyzed {args.file}: {' + '.join(parts)} analysis(es) "
-          f"in {report.wall_seconds:.3f}s")
-    print()
+    _progress(args, f"analyzed {args.file}: {' + '.join(parts)} "
+                    f"analysis(es) in {report.wall_seconds:.3f}s")
     print(report.to_text())
     return 0
 
@@ -219,7 +302,7 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     if args.jobs is not None and args.jobs < 0:
         raise CliError(f"--jobs must be >= 0, got {args.jobs}")
     source = _read(args.file)
-    with Session() as session:
+    with Session(telemetry=args.telemetry) as session:
         result = session.advise(source, filename=args.file,
                                 workers=args.workers, top=args.top,
                                 jobs=args.jobs)
@@ -273,16 +356,18 @@ def _cmd_record(args: argparse.Namespace) -> int:
                        f"got {args.checkpoints}")
     result = record_source(_read(args.file), out, filename=args.file,
                            version=args.format, sampling=policy,
-                           checkpoint_interval=args.checkpoints)
+                           checkpoint_interval=args.checkpoints,
+                           telemetry=args.telemetry)
     sampled = ("" if policy.is_full
                else f", sampled {policy.spec}")
     seams = (f", {result.checkpoints} checkpoint(s)"
              if result.checkpoints else "")
+    # The "recorded ... -> path" line is the verb's result: stdout.
     print(f"recorded {result.events} events ({result.trace_bytes} bytes, "
           f"{result.final_time} instructions, format v{result.version}"
           f"{sampled}{seams}) -> {result.path}")
-    print(f"[exit {result.exit_value}; {result.wall_seconds:.3f}s]",
-          file=sys.stderr)
+    _progress(args, f"[exit {result.exit_value}; "
+                    f"{result.wall_seconds:.3f}s]")
     return 0
 
 
@@ -319,11 +404,27 @@ def _cmd_info(args: argparse.Namespace) -> int:
         f"{EVENT_NAMES.get(etype, f'type{etype}')}={counts[etype]}"
         for etype in sorted(counts))
     print(f"events:     {total} ({by_name})")
+    # Seam reporting is uniform across formats and origins: v2 traces
+    # embed checkpoints in the footer, v1 (or --checkpoints 0) traces
+    # may carry a scan-built .ckpt sidecar, and a trace can have
+    # neither — info always says which case it found.
+    from repro.trace.shards import SIDECAR_SUFFIX, probe_sidecar
+
     if footer.checkpoints:
         count = len(footer.checkpoints)
+        origin = "embedded in the trace footer"
+    else:
+        side = probe_sidecar(args.trace)
+        count = side["checkpoints"] if side else 0
+        origin = f"cached in the {SIDECAR_SUFFIX} sidecar"
+    if count:
         stride = total // (count + 1)
-        print(f"checkpoints:{count} shard seam(s), "
-              f"~{stride} events apart (parallel replay ready)")
+        print(f"checkpoints:{count} shard seam(s), ~{stride} events "
+              f"apart, {origin} (parallel replay ready)")
+    else:
+        print(f"checkpoints:none (no embedded seams, no valid "
+              f"{SIDECAR_SUFFIX} sidecar; parallel replay scans and "
+              f"caches one on first use)")
     print(f"time:       {footer.final_time} instructions")
     print(f"exit:       {footer.exit_value}; "
           f"{len(footer.output)} output line(s)")
@@ -348,7 +449,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         if args.jobs is not None and args.jobs < 0:
             raise CliError(f"--jobs must be >= 0, got {args.jobs}")
         outcome = parallel_replay(args.trace, args.analysis,
-                                  jobs=args.jobs)
+                                  jobs=args.jobs,
+                                  telemetry=args.telemetry)
         ctx = outcome.context
         if outcome.mode == "parallel":
             how = (f"across {outcome.jobs} worker(s), "
@@ -356,20 +458,20 @@ def _cmd_replay(args: argparse.Namespace) -> int:
                    f"{outcome.plan.source} checkpoints")
         else:
             how = f"serially ({outcome.fallback_reason})"
-        print(f"replayed {ctx.events} events ({ctx.final_time} "
-              f"instructions) through {len(outcome.reports)} "
-              f"analysis(es) {how} in {ctx.wall_seconds:.3f}s")
-        print()
+        _progress(args, f"replayed {ctx.events} events "
+                        f"({ctx.final_time} instructions) through "
+                        f"{len(outcome.reports)} analysis(es) {how} "
+                        f"in {ctx.wall_seconds:.3f}s")
         print(outcome.describe())
         return 0
     from repro.trace import replay_trace
 
-    outcome = replay_trace(args.trace, args.analysis)
+    outcome = replay_trace(args.trace, args.analysis,
+                           telemetry=args.telemetry)
     ctx = outcome.context
-    print(f"replayed {ctx.events} events ({ctx.final_time} instructions) "
-          f"through {len(outcome.consumers)} analysis(es) "
-          f"in {ctx.wall_seconds:.3f}s")
-    print()
+    _progress(args, f"replayed {ctx.events} events ({ctx.final_time} "
+                    f"instructions) through {len(outcome.consumers)} "
+                    f"analysis(es) in {ctx.wall_seconds:.3f}s")
     print(outcome.describe())
     return 0
 
@@ -390,7 +492,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     report = record_replay_many(names, args.out_dir, analyses=analyses,
                                 workers=args.workers, scale=args.scale,
                                 sampling=policy.spec,
-                                version=args.format)
+                                version=args.format,
+                                telemetry=args.telemetry)
     print(report.describe())
     failed = report.failures()
     if args.bench:
@@ -405,10 +508,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                                out_path=args.bench_out,
                                version=args.format)
             total = data["total"]
-            print(f"\nreplay-vs-rerun: {total['live_seconds']:.3f}s live "
-                  f"vs {total['record_seconds'] + total['replay_seconds']:.3f}s "
-                  f"record+replay -> {total['speedup']:.2f}x "
-                  f"(written to {args.bench_out})")
+            _progress(
+                args,
+                f"replay-vs-rerun: {total['live_seconds']:.3f}s live "
+                f"vs {total['record_seconds'] + total['replay_seconds']:.3f}s "
+                f"record+replay -> {total['speedup']:.2f}x "
+                f"(written to {args.bench_out})")
         else:
             print("\nreplay-vs-rerun: skipped (no workload recorded "
                   "successfully)", file=sys.stderr)
@@ -471,7 +576,7 @@ def _cmd_bench_sampling(args: argparse.Namespace) -> int:
         print(f"  {spec:18s} met on {len(met['workloads_meeting_target'])}"
               f"/{len(data['rows'])} workload(s): "
               f"{', '.join(met['workloads_meeting_target']) or '-'}")
-    print(f"\nwritten to {args.out}")
+    print(f"written to {args.out}", file=sys.stderr)
     return 0
 
 
@@ -504,7 +609,7 @@ def _cmd_bench_parallel(args: argparse.Namespace) -> int:
     print(f"\n>=2x at {data['jobs']} workers on "
           f"{len(summary['workloads_at_2x'])}/{len(data['rows'])} "
           f"workload(s): {', '.join(summary['workloads_at_2x']) or '-'}")
-    print(f"written to {args.out}")
+    print(f"written to {args.out}", file=sys.stderr)
     if not summary["all_results_identical"]:
         print("error: parallel results diverged from serial",
               file=sys.stderr)
@@ -547,7 +652,7 @@ def _cmd_bench_advise(args: argparse.Namespace) -> int:
           f"/{summary['workloads']} workload(s); "
           f"predictions verified against live simulation on "
           f"{len(summary['verified_identical'])}")
-    print(f"written to {args.out}")
+    print(f"written to {args.out}", file=sys.stderr)
     if not summary["all_verified"]:
         print("error: trace-grounded predictions diverged from live "
               "simulation", file=sys.stderr)
@@ -590,6 +695,26 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.telemetry import (MetricsSchemaError, render_metrics,
+                                 validate_metrics)
+
+    try:
+        with open(args.metrics_file) as handle:
+            payload = json.load(handle)
+    except ValueError as exc:
+        raise CliError(
+            f"{args.metrics_file}: not valid JSON ({exc})") from None
+    try:
+        validate_metrics(payload)
+    except MetricsSchemaError as exc:
+        raise CliError(f"{args.metrics_file}: {exc}") from None
+    print(render_metrics(payload, top=args.top))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="alchemist",
@@ -628,6 +753,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="replay through N parallel workers "
                             "(0 = one per CPU; results identical to "
                             "serial; live analyses are unaffected)")
+    _add_observability(p_ana)
     p_ana.set_defaults(func=_cmd_analyze)
 
     p_lst = sub.add_parser("analyses",
@@ -675,6 +801,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="processes for the task-graph extraction "
                             "pass (0 = one per CPU; results identical "
                             "to serial)")
+    _add_observability(p_adv)
     p_adv.set_defaults(func=_cmd_advise)
 
     p_ann = sub.add_parser("annotate",
@@ -714,6 +841,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="events between checkpoint shard seams for "
                             "parallel replay (v2 only; 0 disables; "
                             "default ~50k)")
+    _add_observability(p_rec)
     p_rec.set_defaults(func=_cmd_record)
 
     p_rep = sub.add_parser("replay",
@@ -729,12 +857,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--jobs", type=int, default=None, metavar="N",
                        help="worker count for --parallel (implies it; "
                             "0 = one per CPU)")
+    _add_observability(p_rep)
     p_rep.set_defaults(func=_cmd_replay)
 
     p_info = sub.add_parser(
         "info", help="inspect a trace file without replaying it")
     p_info.add_argument("trace")
     p_info.set_defaults(func=_cmd_info)
+
+    p_stats = sub.add_parser(
+        "stats", help="render a --metrics artifact: span tree, "
+                      "counters, derived rates")
+    p_stats.add_argument("metrics_file",
+                         help="JSON artifact written by --metrics")
+    p_stats.add_argument("--top", type=int, default=10,
+                         help="rows shown per counter table (default "
+                              "10)")
+    p_stats.set_defaults(func=_cmd_stats)
 
     p_batch = sub.add_parser(
         "batch", help="record+replay many workloads concurrently")
@@ -760,6 +899,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: full fidelity)")
     p_batch.add_argument("--format", type=int, choices=(1, 2), default=2,
                          help="trace schema version to write (default 2)")
+    _add_observability(p_batch)
     p_batch.set_defaults(func=_cmd_batch)
 
     p_bs = sub.add_parser(
@@ -836,8 +976,9 @@ def _expected_errors() -> tuple[type[BaseException], ...]:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    _observability(args)
     try:
-        return args.func(args)
+        code = args.func(args)
     except Exception as exc:
         # One place for every verb: bad FILE paths (missing, unreadable,
         # binary), MiniC compile and runtime errors, corrupt traces,
@@ -849,7 +990,12 @@ def main(argv: list[str] | None = None) -> int:
         if not isinstance(exc, _expected_errors()):
             raise
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        code = 2
+    # Even a failed run publishes its (partial) span tree — the
+    # artifact records the exit code, so a post-mortem can see how far
+    # the pipeline got. Unexpected exceptions traceback instead.
+    _publish_metrics(args, argv, code)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -28,16 +28,29 @@ from repro.sampling.policies import SamplingPolicy
 
 class SampledTracer(Tracer):
     """Forward events to ``child``, dropping memory events the
-    ``policy`` rejects."""
+    ``policy`` rejects.
 
-    def __init__(self, policy: SamplingPolicy, child: Tracer):
+    With an *enabled* ``telemetry`` handle the gate also tallies
+    kept/dropped memory events (``self.kept`` / ``self.dropped``);
+    without one the original zero-bookkeeping closures are installed,
+    so the default path pays nothing for observability.
+    """
+
+    def __init__(self, policy: SamplingPolicy, child: Tracer,
+                 telemetry=None):
         self.policy = policy
         self.child = child
+        self._counted = bool(telemetry is not None
+                             and getattr(telemetry, "enabled", False))
+        self.kept = 0
+        self.dropped = 0
 
     def on_start(self, program: ProgramIR, memory: Memory) -> None:
         child = self.child
         child.on_start(program, memory)
         self.policy.reset()
+        self.kept = 0
+        self.dropped = 0
         # Bind after the child's on_start: children (e.g. analyses)
         # may rebind their own hooks there.
         for name in TRACER_HOOKS:
@@ -47,20 +60,37 @@ class SampledTracer(Tracer):
             if hooks:
                 setattr(self, name, hooks[0])
         keep = self.policy.keep
+        counted = self._counted
         if overridden_hooks([child], "on_read"):
             child_read = child.on_read
 
-            def on_read(addr: int, pc: int, timestamp: int) -> None:
-                if keep(addr, False):
-                    child_read(addr, pc, timestamp)
+            if counted:
+                def on_read(addr: int, pc: int, timestamp: int) -> None:
+                    if keep(addr, False):
+                        self.kept += 1
+                        child_read(addr, pc, timestamp)
+                    else:
+                        self.dropped += 1
+            else:
+                def on_read(addr: int, pc: int, timestamp: int) -> None:
+                    if keep(addr, False):
+                        child_read(addr, pc, timestamp)
 
             self.on_read = on_read
         if overridden_hooks([child], "on_write"):
             child_write = child.on_write
 
-            def on_write(addr: int, pc: int, timestamp: int) -> None:
-                if keep(addr, True):
-                    child_write(addr, pc, timestamp)
+            if counted:
+                def on_write(addr: int, pc: int, timestamp: int) -> None:
+                    if keep(addr, True):
+                        self.kept += 1
+                        child_write(addr, pc, timestamp)
+                    else:
+                        self.dropped += 1
+            else:
+                def on_write(addr: int, pc: int, timestamp: int) -> None:
+                    if keep(addr, True):
+                        child_write(addr, pc, timestamp)
 
             self.on_write = on_write
 

@@ -1,0 +1,121 @@
+"""Structured logging for the whole pipeline.
+
+Every module logs through ``get_logger(__name__)`` — a stdlib logger
+under the ``alchemist`` namespace, so one :func:`configure_logging`
+call controls the entire tree. Records render as one JSON object per
+line on **stderr** (stdout is reserved for results; see the CLI's
+stream discipline), with ``ts`` (monotonic-ish wall clock), ``level``,
+``logger``, ``msg``, and any ``extra`` fields the call site attached::
+
+    log = get_logger(__name__)
+    log.info("replay finished", extra={"events": 12345, "trace": path})
+
+Configuration sources, highest priority first:
+
+1. ``--log-level LEVEL`` (any instrumented CLI verb);
+2. the ``ALCHEMIST_LOG`` environment variable (e.g.
+   ``ALCHEMIST_LOG=debug alchemist analyze …``);
+3. the default: ``warning`` — silent in normal operation.
+
+Logging stays *off the hot paths*: nothing in the interpreter or
+replay event loops logs per event; stages log once with their tallies.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+import time
+from typing import Any
+
+__all__ = ["get_logger", "configure_logging", "JsonFormatter",
+           "LOG_ENV_VAR", "LOG_LEVELS"]
+
+#: Environment variable consulted when no --log-level flag is given.
+LOG_ENV_VAR = "ALCHEMIST_LOG"
+
+#: Accepted level names (CLI choices and env values), lowercase.
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+#: Root of the package's logger tree.
+_ROOT_LOGGER_NAME = "alchemist"
+
+#: Attributes of a vanilla LogRecord; anything else came via ``extra``.
+_STANDARD_ATTRS = frozenset(vars(
+    logging.LogRecord("", 0, "", 0, "", (), None)
+)) | {"message", "asctime", "taskName"}
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record; ``extra`` fields ride along."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for key, value in vars(record).items():
+            if key not in _STANDARD_ATTRS and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc_type"] = record.exc_info[0].__name__
+            payload["exc"] = str(record.exc_info[1])
+        try:
+            return json.dumps(payload, default=repr)
+        except (TypeError, ValueError):  # pragma: no cover - defensive
+            return json.dumps({"ts": time.time(), "level": "error",
+                               "logger": _ROOT_LOGGER_NAME,
+                               "msg": "unserializable log record"})
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``alchemist`` tree.
+
+    Dotted module names are grafted under the root (``repro.trace.x``
+    -> ``alchemist.repro.trace.x``) so one handler/level governs all.
+    """
+    if not name:
+        return logging.getLogger(_ROOT_LOGGER_NAME)
+    return logging.getLogger(f"{_ROOT_LOGGER_NAME}.{name}")
+
+
+def _resolve_level(level: str | int | None) -> int:
+    if level is None:
+        level = os.environ.get(LOG_ENV_VAR) or "warning"
+    if isinstance(level, int):
+        return level
+    name = level.strip().lower()
+    if name not in LOG_LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r} (known: {', '.join(LOG_LEVELS)})")
+    return getattr(logging, name.upper())
+
+
+def configure_logging(level: str | int | None = None, *,
+                      stream=None, force: bool = True) -> logging.Logger:
+    """(Re)configure the ``alchemist`` logger tree; returns the root.
+
+    ``level=None`` consults ``ALCHEMIST_LOG`` and falls back to
+    ``warning``. ``stream`` defaults to ``sys.stderr`` *at call time*
+    (not import time), so pytest's capture and shell redirections both
+    behave. With ``force`` the existing handlers are replaced — calling
+    this twice (e.g. a CLI flag after an env default) must not
+    double-log.
+    """
+    root = logging.getLogger(_ROOT_LOGGER_NAME)
+    root.setLevel(_resolve_level(level))
+    if force:
+        for handler in list(root.handlers):
+            root.removeHandler(handler)
+    if not root.handlers:
+        handler = logging.StreamHandler(
+            stream if stream is not None else sys.stderr)
+        handler.setFormatter(JsonFormatter())
+        root.addHandler(handler)
+    # Never bubble into the application's root logger configuration.
+    root.propagate = False
+    return root

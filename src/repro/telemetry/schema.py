@@ -1,0 +1,141 @@
+"""The ``--metrics`` artifact: schema-versioned span tree + metric dump.
+
+One JSON document per instrumented run::
+
+    {
+      "schema": "alchemist-metrics",
+      "version": 1,
+      "command": "analyze",
+      "argv": ["analyze", "prog.mc", "--metrics", "m.json"],
+      "exit_code": 0,
+      "spans": [ {span tree ...} ],
+      "counters": {"trace.events_decoded": 12345, ...},
+      "gauges": {"session.trace_cache_size": 1, ...}
+    }
+
+Span nodes carry ``name``, ``wall_seconds``, ``cpu_seconds`` and
+optional ``attrs``/``children``. :func:`validate_metrics` is a strict
+structural check (no external jsonschema dependency — the container
+toolchain is frozen) used by tests, ``alchemist stats`` and the CI
+smoke job; it reports the JSON-pointer-ish path of the first violation.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.telemetry.spans import NullTelemetry, Telemetry
+
+__all__ = ["METRICS_SCHEMA", "METRICS_VERSION", "MetricsSchemaError",
+           "metrics_payload", "validate_metrics"]
+
+#: Identifies the artifact kind; readers reject anything else.
+METRICS_SCHEMA = "alchemist-metrics"
+
+#: Bumped on breaking payload-shape changes.
+METRICS_VERSION = 1
+
+
+class MetricsSchemaError(ValueError):
+    """A metrics payload that violates the schema (path in message)."""
+
+
+def metrics_payload(tm: Telemetry | NullTelemetry, *,
+                    command: str = "", argv: list[str] | None = None,
+                    exit_code: int | None = None) -> dict[str, Any]:
+    """Wrap one Telemetry's state into the versioned artifact shape."""
+    return {
+        "schema": METRICS_SCHEMA,
+        "version": METRICS_VERSION,
+        "command": command,
+        "argv": list(argv) if argv is not None else [],
+        "exit_code": exit_code,
+        "spans": [span.to_dict() for span in tm.spans],
+        "counters": dict(tm.counters),
+        "gauges": dict(tm.gauges),
+    }
+
+
+def _fail(path: str, why: str) -> None:
+    raise MetricsSchemaError(f"{path}: {why}")
+
+
+def _check_span(node: Any, path: str) -> None:
+    if not isinstance(node, dict):
+        _fail(path, f"span must be an object, got {type(node).__name__}")
+    allowed = {"name", "wall_seconds", "cpu_seconds", "attrs", "children"}
+    unknown = set(node) - allowed
+    if unknown:
+        _fail(path, f"unknown span keys: {', '.join(sorted(unknown))}")
+    name = node.get("name")
+    if not isinstance(name, str) or not name:
+        _fail(path + "/name", "span name must be a non-empty string")
+    for key in ("wall_seconds", "cpu_seconds"):
+        value = node.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            _fail(f"{path}/{key}", "must be a number")
+        if value < 0:
+            _fail(f"{path}/{key}", f"must be >= 0, got {value}")
+    attrs = node.get("attrs", {})
+    if not isinstance(attrs, dict):
+        _fail(path + "/attrs", "must be an object")
+    for key in attrs:
+        if not isinstance(key, str):
+            _fail(path + "/attrs", f"non-string attribute key {key!r}")
+    children = node.get("children", [])
+    if not isinstance(children, list):
+        _fail(path + "/children", "must be an array")
+    for i, child in enumerate(children):
+        _check_span(child, f"{path}/children/{i}")
+
+
+def validate_metrics(payload: Any) -> dict[str, Any]:
+    """Validate a metrics document; returns it on success.
+
+    Raises :class:`MetricsSchemaError` naming the offending path on the
+    first violation.
+    """
+    if not isinstance(payload, dict):
+        _fail("", f"metrics document must be an object, "
+                  f"got {type(payload).__name__}")
+    if payload.get("schema") != METRICS_SCHEMA:
+        _fail("/schema", f"expected {METRICS_SCHEMA!r}, "
+                         f"got {payload.get('schema')!r}")
+    version = payload.get("version")
+    if not isinstance(version, int) or isinstance(version, bool):
+        _fail("/version", "must be an integer")
+    if version > METRICS_VERSION:
+        _fail("/version", f"version {version} is newer than this "
+                          f"reader understands ({METRICS_VERSION})")
+    if not isinstance(payload.get("command", ""), str):
+        _fail("/command", "must be a string")
+    argv = payload.get("argv", [])
+    if not isinstance(argv, list) or any(not isinstance(a, str)
+                                         for a in argv):
+        _fail("/argv", "must be an array of strings")
+    exit_code = payload.get("exit_code")
+    if exit_code is not None and (not isinstance(exit_code, int)
+                                  or isinstance(exit_code, bool)):
+        _fail("/exit_code", "must be an integer or null")
+    spans = payload.get("spans")
+    if not isinstance(spans, list):
+        _fail("/spans", "must be an array of span objects")
+    for i, span in enumerate(spans):
+        _check_span(span, f"/spans/{i}")
+    counters = payload.get("counters")
+    if not isinstance(counters, dict):
+        _fail("/counters", "must be an object")
+    for key, value in counters.items():
+        if not isinstance(key, str):
+            _fail("/counters", f"non-string counter name {key!r}")
+        if not isinstance(value, int) or isinstance(value, bool):
+            _fail(f"/counters/{key}", "counter values must be integers")
+    gauges = payload.get("gauges")
+    if not isinstance(gauges, dict):
+        _fail("/gauges", "must be an object")
+    for key, value in gauges.items():
+        if not isinstance(key, str):
+            _fail("/gauges", f"non-string gauge name {key!r}")
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            _fail(f"/gauges/{key}", "gauge values must be numbers")
+    return payload

@@ -59,6 +59,9 @@ class BatchJob:
     #: ``(("whatif", (("workers", "2,4"), ("top", 3))),)``. Validated
     #: against each plugin's OptionSpec schema in the worker.
     options: tuple[tuple[str, tuple[tuple[str, Any], ...]], ...] = ()
+    #: Collect telemetry in the worker and ship the span tree back on
+    #: the result (set by the driver when its own telemetry is on).
+    telemetry: bool = False
 
 
 @dataclass
@@ -70,12 +73,20 @@ class BatchResult:
     seconds: float
     payload: dict[str, Any] = field(default_factory=dict)
     error: str = ""
+    #: Worker span tree / counters (only when the job asked for
+    #: telemetry); the driver stitches these under its ``batch`` span.
+    spans: dict[str, Any] | None = None
+    counters: dict[str, int] | None = None
 
 
 def run_job(job: BatchJob) -> BatchResult:
     """Execute one job (also the worker entry point — must stay
     importable at module top level for pickling)."""
-    start = _time.perf_counter()
+    from repro.telemetry import NULL_TELEMETRY, Telemetry
+
+    tm = Telemetry() if job.telemetry else NULL_TELEMETRY
+    span = tm.span(f"batch.{job.kind}", workload=job.name)
+    span.__enter__()
     try:
         if job.plugin_modules:
             import importlib
@@ -91,7 +102,7 @@ def run_job(job: BatchJob) -> BatchResult:
                 workload.source, job.trace_path, filename=workload.name,
                 version=(job.version if job.version is not None
                          else DEFAULT_TRACE_VERSION),
-                sampling=job.sampling)
+                sampling=job.sampling, telemetry=tm)
             payload = {
                 "trace": result.path,
                 "events": result.events,
@@ -113,9 +124,11 @@ def run_job(job: BatchJob) -> BatchResult:
                 option_map = {name: dict(pairs)
                               for name, pairs in job.options}
                 consumers = make_analyses(job.analyses, option_map)
-                outcome = replay_with(job.trace_path, consumers)
+                outcome = replay_with(job.trace_path, consumers,
+                                      telemetry=tm)
             else:
-                outcome = replay_trace(job.trace_path, job.analyses)
+                outcome = replay_trace(job.trace_path, job.analyses,
+                                       telemetry=tm)
             payload = {
                 name: (report.data if report.data
                        or report.payload is None else report.payload)
@@ -124,12 +137,19 @@ def run_job(job: BatchJob) -> BatchResult:
         else:
             raise ValueError(f"unknown batch job kind {job.kind!r}")
     except Exception as exc:  # worker errors travel as data, not crashes
+        span.__exit__(type(exc), exc, None)
         return BatchResult(job=job, ok=False,
-                           seconds=_time.perf_counter() - start,
-                           error=f"{type(exc).__name__}: {exc}")
+                           seconds=span.wall_seconds,
+                           error=f"{type(exc).__name__}: {exc}",
+                           spans=tm.export_spans(),
+                           counters=dict(tm.counters) if tm.enabled
+                           else None)
+    span.__exit__(None, None, None)
     return BatchResult(job=job, ok=True,
-                       seconds=_time.perf_counter() - start,
-                       payload=payload)
+                       seconds=span.wall_seconds,
+                       payload=payload,
+                       spans=tm.export_spans(),
+                       counters=dict(tm.counters) if tm.enabled else None)
 
 
 def run_batch(jobs: list[BatchJob],
@@ -225,7 +245,8 @@ def record_replay_many(workload_names: list[str], out_dir: str,
                        plugin_modules: tuple[str, ...] = (),
                        sampling: str = "full",
                        version: int | None = None,
-                       options: dict | None = None) -> BatchReport:
+                       options: dict | None = None,
+                       telemetry=None) -> BatchReport:
     """Record every workload, then replay every trace, both in parallel.
 
     The two phases are separated by a barrier (a replay needs its trace
@@ -234,28 +255,50 @@ def record_replay_many(workload_names: list[str], out_dir: str,
     spawned workers can resolve them too. ``sampling``/``version``
     configure the record phase (see :func:`repro.trace.record_source`);
     ``options`` carries per-analysis options into every replay job
-    (``{"whatif": {"workers": "2,4"}}``).
+    (``{"whatif": {"workers": "2,4"}}``). With an enabled ``telemetry``
+    every worker collects its own spans, stitched back under the
+    driver's ``batch`` span in submission order.
     """
+    from repro.telemetry import as_telemetry
+
+    tm = as_telemetry(telemetry)
     os.makedirs(out_dir, exist_ok=True)
     start = _time.perf_counter()
     frozen = freeze_options(options)
     record_jobs = [
         BatchJob(kind="record", name=name, workload=name, scale=scale,
                  trace_path=os.path.join(out_dir, f"{name}.trace"),
-                 sampling=sampling, version=version)
+                 sampling=sampling, version=version,
+                 telemetry=tm.enabled)
         for name in workload_names
     ]
-    records = run_batch(record_jobs, workers)
-    replay_jobs = [
-        BatchJob(kind="replay", name=job.name, trace_path=job.trace_path,
-                 analyses=tuple(analyses),
-                 plugin_modules=tuple(plugin_modules),
-                 options=frozen)
-        for job, result in zip(record_jobs, records) if result.ok
-    ]
-    replays = run_batch(replay_jobs, workers)
+    with tm.span("batch", workloads=list(workload_names),
+                 analyses=list(analyses)) as span:
+        records = run_batch(record_jobs, workers)
+        replay_jobs = [
+            BatchJob(kind="replay", name=job.name,
+                     trace_path=job.trace_path,
+                     analyses=tuple(analyses),
+                     plugin_modules=tuple(plugin_modules),
+                     options=frozen, telemetry=tm.enabled)
+            for job, result in zip(record_jobs, records) if result.ok
+        ]
+        replays = run_batch(replay_jobs, workers)
+        for result in records + replays:
+            tm.attach(result.spans)
+            tm.merge_counters(result.counters)
     effective = workers if workers is not None else min(
         len(record_jobs), os.cpu_count() or 1)
+    wall = _time.perf_counter() - start
+    if tm.enabled:
+        span.set(jobs=len(records) + len(replays), workers=effective)
+        from repro.telemetry import get_logger
+
+        get_logger(__name__).info(
+            "batch finished", extra={
+                "workloads": len(record_jobs), "workers": effective,
+                "failures": sum(1 for r in records + replays if not r.ok),
+                "wall_seconds": round(wall, 6)})
     return BatchReport(records=records, replays=replays,
                        workers=effective,
-                       wall_seconds=_time.perf_counter() - start)
+                       wall_seconds=wall)

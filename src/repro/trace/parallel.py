@@ -78,20 +78,58 @@ def run_segment(job: dict) -> dict:
     """Worker entry point: replay one segment, export partial states.
 
     Top-level so it pickles; ``job`` is a plain dict (path, checkpoint
-    payload, end index, analysis names/options, flags).
+    payload, end index, analysis names/options, flags). With
+    ``job["telemetry"]`` the worker builds its own :class:`Telemetry`
+    and ships the span tree + counters back for the coordinator to
+    stitch; without it the NULL path still times the segment (the
+    ``seconds``/``cpu_seconds`` fields are span-derived either way).
     """
-    start = _time.perf_counter()
-    cpu_start = _time.process_time()
-    for module in job.get("plugin_modules", ()):
-        import importlib
+    from repro.telemetry import NULL_TELEMETRY, Telemetry
 
-        importlib.import_module(module)
+    tm = Telemetry() if job.get("telemetry") else NULL_TELEMETRY
+    # Entered/exited by hand: the whole body is the span, and the
+    # result dict needs the span's timings after exit.
+    seg_span = tm.span("segment", ordinal=job["ordinal"])
+    seg_span.__enter__()
+    try:
+        for module in job.get("plugin_modules", ()):
+            import importlib
+
+            importlib.import_module(module)
+        path = job["path"]
+        checkpoint = Checkpoint.from_payload(job["checkpoint"])
+        budget = (None if job["end_index"] is None
+                  else job["end_index"] - checkpoint.index)
+        with TraceReader(path) as reader:
+            consumed, exports, memory_snapshot = _replay_segment(
+                job, reader, checkpoint, budget, tm)
+    finally:
+        seg_span.__exit__(None, None, None)
+    seg_span.set(events=consumed, start_index=checkpoint.index)
+    tm.count("trace.events_decoded", consumed)
+    return {
+        "ordinal": job["ordinal"],
+        "exports": exports,
+        "events": consumed,
+        "memory": memory_snapshot,
+        # Span-derived wall time; CPU time is the honest per-segment
+        # cost when workers contend for cores (wall time on an
+        # oversubscribed box includes the scheduler's time-slicing,
+        # which is not the segment's work).
+        "seconds": seg_span.wall_seconds,
+        "cpu_seconds": seg_span.cpu_seconds,
+        "spans": tm.export_spans(),
+        "counters": dict(tm.counters) if tm.enabled else None,
+    }
+
+
+def _replay_segment(job: dict, reader: TraceReader,
+                    checkpoint: Checkpoint, budget: int | None,
+                    tm) -> tuple[int, dict, dict | None]:
+    """Restore state at the seam and replay one segment's events."""
     path = job["path"]
-    checkpoint = Checkpoint.from_payload(job["checkpoint"])
-    budget = (None if job["end_index"] is None
-              else job["end_index"] - checkpoint.index)
-    with TraceReader(path) as reader:
-        header = reader.header
+    header = reader.header
+    with tm.span("segment.restore"):
         program = _compiled(path, header)
         memory = restore_memory(program, header, checkpoint)
         functions = [program.functions[name]
@@ -110,8 +148,11 @@ def run_segment(job: dict) -> dict:
         analyses = make_analyses(job["analyses"], job.get("options"))
         for analysis in analyses:
             analysis.begin_segment(program, memory, seed)
-        from repro.analyses import live_hooks
+    from repro.analyses import live_hooks
 
+    replay_span = tm.span("segment.replay")
+    replay_span.__enter__()
+    try:
         on_enter = live_hooks(analyses, "on_enter_function")
         on_exit = live_hooks(analyses, "on_exit_function")
         on_block = live_hooks(analyses, "on_block_enter")
@@ -179,29 +220,23 @@ def run_segment(job: dict) -> dict:
             consumed += 1
             if budget is not None and consumed >= budget:
                 break
-        if budget is not None and consumed < budget:
-            raise TraceError(
-                f"{path}: segment at event {checkpoint.index} ended "
-                f"after {consumed} of {budget} events (truncated "
-                "trace?)")
+    finally:
+        replay_span.__exit__(None, None, None)
+    replay_span.set(events=consumed)
+    if budget is not None and consumed < budget:
+        raise TraceError(
+            f"{path}: segment at event {checkpoint.index} ended "
+            f"after {consumed} of {budget} events (truncated "
+            "trace?)")
 
-        ctx = AnalysisContext(program=program, memory=memory,
-                              final_time=final_time, mode="replay")
-        exports = {analysis.name: analysis.export_segment(ctx)
-                   for analysis in analyses}
-        memory_snapshot = (snapshot_memory(memory, header).to_payload()
-                           if job["end_index"] is None else None)
-    return {
-        "ordinal": job["ordinal"],
-        "exports": exports,
-        "events": consumed,
-        "memory": memory_snapshot,
-        "seconds": _time.perf_counter() - start,
-        # CPU time is the honest per-segment cost when workers contend
-        # for cores (wall time on an oversubscribed box includes the
-        # scheduler's time-slicing, which is not the segment's work).
-        "cpu_seconds": _time.process_time() - cpu_start,
-    }
+    ctx = AnalysisContext(program=program, memory=memory,
+                          final_time=final_time, mode="replay",
+                          telemetry=tm)
+    exports = {analysis.name: analysis.export_segment(ctx)
+               for analysis in analyses}
+    memory_snapshot = (snapshot_memory(memory, header).to_payload()
+                       if job["end_index"] is None else None)
+    return consumed, exports, memory_snapshot
 
 
 @dataclass
@@ -239,7 +274,8 @@ def parallel_replay(path: str | os.PathLike,
                     options: dict | None = None,
                     interval: int | None = None,
                     plugin_modules: tuple[str, ...] = (),
-                    allow_scan: bool = True) -> ParallelOutcome:
+                    allow_scan: bool = True,
+                    telemetry=None) -> ParallelOutcome:
     """Replay ``path`` through the named analyses across ``jobs``
     workers; falls back to one serial pass when sharding cannot help
     (and says so in the outcome).
@@ -247,92 +283,134 @@ def parallel_replay(path: str | os.PathLike,
     ``interval`` overrides the scan checkpoint interval for traces
     recorded without embedded seams; ``plugin_modules`` are imported
     in each worker before analyses resolve (the registry of a spawned
-    process only knows the builtins).
+    process only knows the builtins). With an enabled ``telemetry``
+    the coordinator opens a ``replay.parallel`` span and stitches each
+    worker's ``segment`` span tree (and counters) under it.
     """
+    from repro.telemetry import as_telemetry
     from repro.trace.shards import DEFAULT_CHECKPOINT_INTERVAL
 
     path = os.fspath(path)
     names = parse_spec(analyses)
     if jobs is None or jobs <= 0:
         jobs = os.cpu_count() or 1
-    start = _time.perf_counter()
-    unsupported = unsupported_analyses(names)
-    if unsupported:
-        plan = ShardPlan(path=path, version=0, segments=[],
-                         source="serial")
-        return _serial_fallback(
-            path, names, options, plan, jobs, start,
-            "analysis without segment support: "
-            + ", ".join(unsupported))
-    plan = plan_shards(path, jobs,
-                       interval=(interval if interval
-                                 else DEFAULT_CHECKPOINT_INTERVAL),
-                       allow_scan=allow_scan)
-    if not plan.is_parallel:
-        return _serial_fallback(path, names, options, plan, jobs, start,
-                                "no usable shard seams"
-                                if jobs > 1 else "jobs=1")
+    tm = as_telemetry(telemetry)
+    coord = tm.span("replay.parallel", trace=path, jobs=jobs,
+                    analyses=list(names))
+    coord.__enter__()
+    # `finally` still runs on the early-return fallback paths, so the
+    # coordinator span brackets the whole call either way.
+    try:
+        start = _time.perf_counter()
+        unsupported = unsupported_analyses(names)
+        if unsupported:
+            plan = ShardPlan(path=path, version=0, segments=[],
+                             source="serial")
+            coord.set(mode="serial")
+            return _serial_fallback(
+                path, names, options, plan, jobs, start,
+                "analysis without segment support: "
+                + ", ".join(unsupported), tm)
+        with tm.span("replay.plan"):
+            plan = plan_shards(path, jobs,
+                               interval=(interval if interval
+                                         else DEFAULT_CHECKPOINT_INTERVAL),
+                               allow_scan=allow_scan)
+        coord.set(segments=len(plan.segments), seams=plan.source)
+        if not plan.is_parallel:
+            coord.set(mode="serial")
+            return _serial_fallback(path, names, options, plan, jobs,
+                                    start,
+                                    "no usable shard seams"
+                                    if jobs > 1 else "jobs=1", tm)
 
-    pool_size = min(jobs, len(plan.segments))
-    jobs_payload = [{
-        "path": path,
-        "ordinal": segment.ordinal,
-        "checkpoint": segment.checkpoint.to_payload(),
-        "end_index": segment.end_index,
-        "analyses": names,
-        "options": options,
-        "plugin_modules": plugin_modules,
-    } for segment in plan.segments]
-    if pool_size == 1:
-        results = [run_segment(job) for job in jobs_payload]
-    else:
-        with multiprocessing.Pool(processes=pool_size) as pool:
-            results = pool.map(run_segment, jobs_payload, chunksize=1)
-    results.sort(key=lambda r: r["ordinal"])
+        coord.set(mode="parallel")
+        pool_size = min(jobs, len(plan.segments))
+        jobs_payload = [{
+            "path": path,
+            "ordinal": segment.ordinal,
+            "checkpoint": segment.checkpoint.to_payload(),
+            "end_index": segment.end_index,
+            "analyses": names,
+            "options": options,
+            "plugin_modules": plugin_modules,
+            "telemetry": tm.enabled,
+        } for segment in plan.segments]
+        if pool_size == 1:
+            results = [run_segment(job) for job in jobs_payload]
+        else:
+            with multiprocessing.Pool(processes=pool_size) as pool:
+                results = pool.map(run_segment, jobs_payload,
+                                   chunksize=1)
+        results.sort(key=lambda r: r["ordinal"])
+        for result in results:
+            tm.attach(result.get("spans"))
+            tm.merge_counters(result.get("counters"))
+        if tm.enabled:
+            busy = sum(r["seconds"] for r in results)
+            tm.gauge("parallel.pool_size", pool_size)
+            tm.gauge("parallel.segments", len(results))
 
-    with TraceReader(path) as reader:
-        header = reader.header
-        footer = reader.read_footer()
-        program = _compiled(path, header)
-    final_memory = restore_memory(
-        program, header, Checkpoint.from_payload(results[-1]["memory"]))
-    sampling = getattr(header, "sampling", "full")
-    wall = _time.perf_counter() - start
-    ctx = AnalysisContext(
-        program=program,
-        memory=final_memory,
-        final_time=footer.final_time,
-        exit_value=footer.exit_value,
-        output=[tuple(v) for v in footer.output],
-        events=footer.events,
-        wall_seconds=wall,
-        mode="replay",
-        sampling=None if sampling in (None, "", "full") else sampling,
-        trace_path=path,
-    )
-    merge_start = _time.perf_counter()
-    reports: dict[str, AnalysisResult] = {}
-    for name in names:
-        folded: AnalysisSegment = results[0]["exports"][name]
-        for result in results[1:]:
-            folded = folded.merge(result["exports"][name])
-        reports[name] = folded.finalize(ctx)
-    merge_seconds = _time.perf_counter() - merge_start
-    wall = _time.perf_counter() - start
-    ctx.wall_seconds = wall
-    return ParallelOutcome(
-        reports=reports, context=ctx, plan=plan, jobs=pool_size,
-        mode="parallel", wall_seconds=wall,
-        segment_seconds=[r["seconds"] for r in results],
-        segment_cpu_seconds=[r["cpu_seconds"] for r in results],
-        merge_seconds=merge_seconds)
+        with TraceReader(path) as reader:
+            header = reader.header
+            footer = reader.read_footer()
+            program = _compiled(path, header)
+        final_memory = restore_memory(
+            program, header,
+            Checkpoint.from_payload(results[-1]["memory"]))
+        sampling = getattr(header, "sampling", "full")
+        wall = _time.perf_counter() - start
+        ctx = AnalysisContext(
+            program=program,
+            memory=final_memory,
+            final_time=footer.final_time,
+            exit_value=footer.exit_value,
+            output=[tuple(v) for v in footer.output],
+            events=footer.events,
+            wall_seconds=wall,
+            mode="replay",
+            sampling=None if sampling in (None, "", "full") else sampling,
+            trace_path=path,
+            telemetry=tm,
+        )
+        with tm.span("replay.merge", analyses=list(names)) as merge_span:
+            reports: dict[str, AnalysisResult] = {}
+            for name in names:
+                folded: AnalysisSegment = results[0]["exports"][name]
+                for result in results[1:]:
+                    folded = folded.merge(result["exports"][name])
+                reports[name] = folded.finalize(ctx)
+        merge_seconds = merge_span.wall_seconds
+        wall = _time.perf_counter() - start
+        ctx.wall_seconds = wall
+        if tm.enabled:
+            # Pool utilization: worker busy-time over the wall-clock
+            # capacity the pool had open (1.0 = perfectly packed).
+            tm.gauge("parallel.pool_utilization",
+                     round(busy / (wall * pool_size), 4) if wall else 0.0)
+            from repro.telemetry import get_logger
+
+            get_logger(__name__).info(
+                "parallel replay merged", extra={
+                    "trace": path, "segments": len(results),
+                    "jobs": pool_size,
+                    "merge_seconds": round(merge_seconds, 6),
+                    "wall_seconds": round(wall, 6)})
+        return ParallelOutcome(
+            reports=reports, context=ctx, plan=plan, jobs=pool_size,
+            mode="parallel", wall_seconds=wall,
+            segment_seconds=[r["seconds"] for r in results],
+            segment_cpu_seconds=[r["cpu_seconds"] for r in results],
+            merge_seconds=merge_seconds)
+    finally:
+        coord.__exit__(None, None, None)
 
 
 def _serial_fallback(path: str, names: list[str], options: dict | None,
                      plan: ShardPlan, jobs: int, start: float,
-                     reason: str) -> ParallelOutcome:
+                     reason: str, telemetry=None) -> ParallelOutcome:
     instances = make_analyses(names, options)
-    outcome = replay_with(path, instances)
+    outcome = replay_with(path, instances, telemetry=telemetry)
     wall = _time.perf_counter() - start
     outcome.context.wall_seconds = wall
     return ParallelOutcome(

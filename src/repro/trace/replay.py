@@ -27,7 +27,6 @@ continue to work; new code should import from :mod:`repro.analyses`.
 
 from __future__ import annotations
 
-import time as _time
 from collections.abc import MutableMapping
 from dataclasses import dataclass
 from typing import Any, Iterable
@@ -147,7 +146,10 @@ class ReplayEngine:
     """
 
     def __init__(self, reader: TraceReader, program: ProgramIR | None = None,
-                 check_allocs: bool = True):
+                 check_allocs: bool = True, telemetry=None):
+        from repro.telemetry import as_telemetry
+
+        self.telemetry = as_telemetry(telemetry)
         self.reader = reader
         header = reader.header
         if program is None:
@@ -155,7 +157,8 @@ class ReplayEngine:
                 raise TraceError(
                     f"{reader.path}: embedded source does not match the "
                     "header digest (corrupt trace)")
-            program = compile_source(header.source, header.filename)
+            with self.telemetry.span("compile", file=header.filename):
+                program = compile_source(header.source, header.filename)
         # An explicitly passed program is trusted (the caller compiled
         # it); mismatches surface via the function table or the alloc
         # divergence check below.
@@ -178,11 +181,62 @@ class ReplayEngine:
                     f"trace names function {name!r} missing from the "
                     "program (source/trace mismatch)") from None
 
-        start = _time.perf_counter()
-        for consumer in consumers:
-            consumer.on_start(program, memory)
-        # Bind hook lists after on_start (analyses may rebind hooks
-        # there), dropping inherited no-op hooks from the dispatch.
+        tm = self.telemetry
+        # Consumers are usually Analysis plugins, but anything with the
+        # tracer hook surface replays fine (e.g. task-graph tracers) —
+        # fall back to the class name for the span attribute.
+        names = [getattr(c, "name", None) or type(c).__name__
+                 for c in consumers]
+        with tm.span("replay", trace=reader.path,
+                     analyses=names) as span:
+            for consumer in consumers:
+                consumer.on_start(program, memory)
+            final_time = self._dispatch(consumers, memory, functions)
+        wall = span.wall_seconds
+        footer = reader.footer
+        if tm.enabled:
+            events = footer.events if footer is not None else 0
+            span.set(events=events)
+            tm.count("trace.events_decoded", events)
+            decoder = reader.decoder
+            compressed = getattr(decoder, "compressed_bytes", 0)
+            if compressed:
+                tm.count("trace.bytes_read", compressed)
+                tm.count("trace.blocks_read",
+                         getattr(decoder, "blocks", 0))
+            else:  # v1: fixed records, no compression layer
+                tm.count("trace.bytes_read",
+                         getattr(decoder, "records", 0) * 13)
+            from repro.telemetry import get_logger
+
+            get_logger(__name__).info(
+                "replayed trace", extra={
+                    "trace": reader.path, "events": events,
+                    "analyses": names,
+                    "wall_seconds": round(wall, 6)})
+        sampling = getattr(header, "sampling", "full")
+        return AnalysisContext(
+            program=program,
+            memory=memory,
+            final_time=final_time,
+            exit_value=footer.exit_value if footer is not None else 0,
+            output=([tuple(v) for v in footer.output]
+                    if footer is not None else []),
+            events=footer.events if footer is not None else 0,
+            wall_seconds=wall,
+            mode="replay",
+            sampling=None if sampling in (None, "", "full") else sampling,
+            trace_path=reader.path,
+            telemetry=tm,
+        )
+
+    def _dispatch(self, consumers: list[Analysis], memory: Memory,
+                  functions: list) -> int:
+        """Stream every event through the bound hooks; returns the
+        final timestamp. Hook lists are bound here — after ``on_start``
+        (analyses may rebind hooks there) — dropping inherited no-op
+        hooks from the dispatch."""
+        reader = self.reader
         on_enter = live_hooks(consumers, "on_enter_function")
         on_exit = live_hooks(consumers, "on_exit_function")
         on_block = live_hooks(consumers, "on_block_enter")
@@ -249,22 +303,7 @@ class ReplayEngine:
                 pass  # shard seam marker: no analysis-visible content
             else:
                 raise TraceError(f"unknown event type {etype}")
-        wall = _time.perf_counter() - start
-        footer = reader.footer
-        sampling = getattr(header, "sampling", "full")
-        return AnalysisContext(
-            program=program,
-            memory=memory,
-            final_time=final_time,
-            exit_value=footer.exit_value if footer is not None else 0,
-            output=([tuple(v) for v in footer.output]
-                    if footer is not None else []),
-            events=footer.events if footer is not None else 0,
-            wall_seconds=wall,
-            mode="replay",
-            sampling=None if sampling in (None, "", "full") else sampling,
-            trace_path=reader.path,
-        )
+        return final_time
 
 
 @dataclass
@@ -292,21 +331,27 @@ class ReplayOutcome:
 
 
 def replay_trace(path: str, analyses: Iterable[str] | str = ("dep",),
-                 program: ProgramIR | None = None) -> ReplayOutcome:
+                 program: ProgramIR | None = None,
+                 telemetry=None) -> ReplayOutcome:
     """Replay ``path`` through the named analyses in one pass."""
     consumers = make_consumers(analyses)
-    return replay_with(path, consumers, program)
+    return replay_with(path, consumers, program, telemetry=telemetry)
 
 
 def replay_with(path: str, consumers: list[Analysis],
-                program: ProgramIR | None = None) -> ReplayOutcome:
+                program: ProgramIR | None = None,
+                telemetry=None) -> ReplayOutcome:
     """Replay ``path`` through already-instantiated analyses."""
+    from repro.telemetry import as_telemetry
+
+    tm = as_telemetry(telemetry)
     with TraceReader(path) as reader:
-        engine = ReplayEngine(reader, program)
+        engine = ReplayEngine(reader, program, telemetry=tm)
         ctx = engine.run(consumers)
     reports = {}
     for consumer in consumers:
-        report = consumer.finish(ctx)
+        with tm.span("analysis.finish", analysis=consumer.name):
+            report = consumer.finish(ctx)
         consumer.last_result = report  # deprecated describe() surface
         reports[consumer.name] = report
     return ReplayOutcome(reports=reports, context=ctx, consumers=consumers)

@@ -41,7 +41,6 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 from dataclasses import dataclass, field
 
 from repro.trace.events import (EV_ALLOC, EV_BLOCK, EV_BRANCH,
@@ -405,6 +404,37 @@ def _sidecar_path(path: str) -> str:
     return path + SIDECAR_SUFFIX
 
 
+def probe_sidecar(path: str | os.PathLike) -> dict | None:
+    """Non-destructively inspect the ``.ckpt`` sidecar of ``path``.
+
+    Returns ``{"checkpoints": N, "interval": I}`` when a sidecar exists
+    and still matches the trace (same schema, size, digest and sampling
+    — any ``interval`` is accepted, since ``info`` reports what is
+    cached rather than demanding a particular stride), else ``None``:
+    missing, stale or torn sidecars all read as "no cached seams",
+    exactly as the loader would treat them.
+    """
+    path = os.fspath(path)
+    side = _sidecar_path(path)
+    if not os.path.exists(side):
+        return None
+    try:
+        size = os.path.getsize(path)
+        with TraceReader(path) as reader:
+            digest = reader.header.digest
+            sampling = reader.header.sampling
+        with open(side) as handle:
+            data = json.load(handle)
+        key = {"schema": _SIDECAR_SCHEMA, "size": size,
+               "digest": digest, "sampling": sampling}
+        if not all(data.get(k) == v for k, v in key.items()):
+            return None
+        return {"checkpoints": len(data["checkpoints"]),
+                "interval": data.get("interval")}
+    except (OSError, ValueError, KeyError, TraceError):
+        return None
+
+
 def load_or_build_checkpoints(path: str | os.PathLike,
                               interval: int = DEFAULT_CHECKPOINT_INTERVAL,
                               sidecar: bool = True) -> list[Checkpoint]:
@@ -439,31 +469,18 @@ def load_or_build_checkpoints(path: str | os.PathLike,
 
 
 def _write_sidecar(side: str, payload: dict) -> None:
-    """Atomically publish the sidecar: write a temp file in the same
-    directory, then ``os.replace`` it into place. A crash mid-dump or a
-    concurrent parallel replay therefore never observes a torn file —
-    readers see either the old complete sidecar or the new one (a torn
-    sidecar would silently force a rescan on every later replay).
-    I/O failures degrade to not caching, never to an error."""
-    fd = None
-    tmp = None
+    """Atomically publish the sidecar (see
+    :func:`repro.util.atomic_write_json`) so a crash mid-dump or a
+    concurrent parallel replay never observes a torn file — readers see
+    either the old complete sidecar or the new one (a torn sidecar
+    would silently force a rescan on every later replay). I/O failures
+    degrade to not caching, never to an error."""
+    from repro.util import atomic_write_json
+
     try:
-        fd, tmp = tempfile.mkstemp(
-            dir=os.path.dirname(side) or ".",
-            prefix=os.path.basename(side) + ".", suffix=".tmp")
-        with os.fdopen(fd, "w") as handle:
-            fd = None  # os.fdopen owns the descriptor now
-            json.dump(payload, handle)
-        os.replace(tmp, side)
-        tmp = None
+        atomic_write_json(side, payload, indent=None)
     except OSError:
-        if fd is not None:
-            os.close(fd)
-        if tmp is not None:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+        pass
 
 
 # ---------------------------------------------------------------------------

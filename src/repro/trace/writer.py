@@ -253,7 +253,8 @@ def record_program(program: ProgramIR, path: str | os.PathLike, *,
                    max_steps: int = DEFAULT_MAX_STEPS,
                    version: int = DEFAULT_TRACE_VERSION,
                    sampling=None,
-                   checkpoint_interval: int | None = None) -> RecordResult:
+                   checkpoint_interval: int | None = None,
+                   telemetry=None) -> RecordResult:
     """Run ``program`` under a :class:`TraceWriter`; returns the summary.
 
     ``source`` must be the text ``program`` was compiled from — it is
@@ -262,30 +263,50 @@ def record_program(program: ProgramIR, path: str | os.PathLike, *,
     :class:`repro.sampling.SamplingPolicy`; memory events the policy
     drops never reach the file. ``checkpoint_interval`` embeds shard
     seams for parallel replay (v2; 0 disables, None = default).
+    ``telemetry`` wraps the run in a ``record`` span with writer and
+    sampling-gate counters (tallies the stage keeps anyway — nothing
+    is added per event).
     """
     from repro.sampling import SampledTracer, as_policy
+    from repro.telemetry import as_telemetry, get_logger
 
+    tm = as_telemetry(telemetry)
     policy = as_policy(sampling)
     writer = TraceWriter(path, source, filename, version=version,
                          sampling=policy.spec,
                          checkpoint_interval=checkpoint_interval)
-    tracer = writer if policy.is_full else SampledTracer(policy, writer)
-    start = _time.perf_counter()
-    try:
-        interp = Interpreter(program, tracer, max_steps)
-        exit_value = interp.run()
-    except BaseException:
-        writer.abort()
-        raise
-    writer.close(exit_value, interp.output)
-    wall = _time.perf_counter() - start
+    tracer = (writer if policy.is_full
+              else SampledTracer(policy, writer, telemetry=tm))
+    with tm.span("record", file=filename, version=version,
+                 sampling=policy.spec) as span:
+        try:
+            interp = Interpreter(program, tracer, max_steps)
+            exit_value = interp.run()
+        except BaseException:
+            writer.abort()
+            raise
+        writer.close(exit_value, interp.output)
+    trace_bytes = os.path.getsize(writer.path)
+    span.set(events=writer.events, checkpoints=len(writer._checkpoints))
+    tm.count("trace.events_written", writer.events)
+    tm.count("trace.bytes_written", trace_bytes)
+    tm.count("trace.checkpoint_seams_written", len(writer._checkpoints))
+    if not policy.is_full and tm.enabled:
+        tm.count("sampling.memory_events_kept", tracer.kept)
+        tm.count("sampling.memory_events_dropped", tracer.dropped)
+    get_logger(__name__).info(
+        "recorded trace", extra={
+            "trace": writer.path, "events": writer.events,
+            "bytes": trace_bytes, "version": version,
+            "sampling": policy.spec,
+            "wall_seconds": round(span.wall_seconds, 6)})
     return RecordResult(
         path=writer.path,
         exit_value=exit_value,
         events=writer.events,
         final_time=writer.final_time,
-        trace_bytes=os.path.getsize(writer.path),
-        wall_seconds=wall,
+        trace_bytes=trace_bytes,
+        wall_seconds=span.wall_seconds,
         version=version,
         sampling=policy.spec,
         checkpoints=len(writer._checkpoints),
@@ -297,10 +318,16 @@ def record_source(source: str, path: str | os.PathLike, *,
                   max_steps: int = DEFAULT_MAX_STEPS,
                   version: int = DEFAULT_TRACE_VERSION,
                   sampling=None,
-                  checkpoint_interval: int | None = None) -> RecordResult:
+                  checkpoint_interval: int | None = None,
+                  telemetry=None) -> RecordResult:
     """Compile and record MiniC ``source`` into a trace at ``path``."""
-    program = compile_source(source, filename)
+    from repro.telemetry import as_telemetry
+
+    tm = as_telemetry(telemetry)
+    with tm.span("compile", file=filename):
+        program = compile_source(source, filename)
     return record_program(program, path, source=source, filename=filename,
                           max_steps=max_steps, version=version,
                           sampling=sampling,
-                          checkpoint_interval=checkpoint_interval)
+                          checkpoint_interval=checkpoint_interval,
+                          telemetry=tm)

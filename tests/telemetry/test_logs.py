@@ -1,0 +1,108 @@
+"""Structured logging: JSON-lines formatting, the alchemist logger
+tree, and level resolution (flag > ALCHEMIST_LOG > warning)."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.telemetry import (LOG_ENV_VAR, JsonFormatter,
+                             configure_logging, get_logger)
+
+
+@pytest.fixture(autouse=True)
+def restore_logging():
+    """Leave the process-wide alchemist logger as the suite found it."""
+    yield
+    configure_logging()
+
+
+def capture(level=None, env=None, monkeypatch=None):
+    if monkeypatch is not None:
+        if env is None:
+            monkeypatch.delenv(LOG_ENV_VAR, raising=False)
+        else:
+            monkeypatch.setenv(LOG_ENV_VAR, env)
+    stream = io.StringIO()
+    configure_logging(level=level, stream=stream)
+    return stream
+
+
+class TestJsonFormatter:
+    def test_one_json_object_per_record(self, monkeypatch):
+        stream = capture(level="info", monkeypatch=monkeypatch)
+        get_logger("repro.test").info("replay finished",
+                                      extra={"events": 42,
+                                             "trace": "x.trace"})
+        payload = json.loads(stream.getvalue())
+        assert payload["level"] == "info"
+        assert payload["logger"] == "alchemist.repro.test"
+        assert payload["msg"] == "replay finished"
+        assert payload["events"] == 42
+        assert payload["trace"] == "x.trace"
+        assert isinstance(payload["ts"], float)
+
+    def test_unserializable_extra_falls_back_to_repr(self, monkeypatch):
+        stream = capture(level="info", monkeypatch=monkeypatch)
+        get_logger("repro.test").info("x", extra={"obj": object()})
+        payload = json.loads(stream.getvalue())
+        assert payload["obj"].startswith("<object object")
+
+    def test_exception_fields(self):
+        formatter = JsonFormatter()
+        try:
+            raise ValueError("bad input")
+        except ValueError:
+            import sys
+            record = logging.LogRecord("alchemist.t", logging.ERROR,
+                                       "f.py", 1, "failed", (),
+                                       sys.exc_info())
+        payload = json.loads(formatter.format(record))
+        assert payload["exc_type"] == "ValueError"
+        assert payload["exc"] == "bad input"
+
+
+class TestLoggerTree:
+    def test_get_logger_grafts_under_alchemist(self):
+        assert get_logger("repro.trace.replay").name == \
+            "alchemist.repro.trace.replay"
+        assert get_logger().name == "alchemist"
+
+    def test_root_does_not_propagate(self):
+        root = configure_logging()
+        assert root.propagate is False
+
+
+class TestLevelResolution:
+    def test_default_is_warning(self, monkeypatch):
+        stream = capture(monkeypatch=monkeypatch)
+        log = get_logger("repro.test")
+        log.info("hidden")
+        log.warning("shown")
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["msg"] == "shown"
+
+    def test_env_var_sets_level(self, monkeypatch):
+        stream = capture(env="debug", monkeypatch=monkeypatch)
+        get_logger("repro.test").debug("visible now")
+        assert json.loads(stream.getvalue())["level"] == "debug"
+
+    def test_explicit_level_beats_env(self, monkeypatch):
+        stream = capture(level="error", env="debug",
+                         monkeypatch=monkeypatch)
+        log = get_logger("repro.test")
+        log.info("hidden")
+        log.error("shown")
+        assert len(stream.getvalue().strip().splitlines()) == 1
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging(level="loud")
+
+    def test_reconfigure_does_not_double_log(self, monkeypatch):
+        capture(level="info", monkeypatch=monkeypatch)
+        stream = capture(level="info", monkeypatch=monkeypatch)
+        get_logger("repro.test").info("once")
+        assert len(stream.getvalue().strip().splitlines()) == 1

@@ -1,0 +1,112 @@
+"""Metrics parity: enabling telemetry must change ZERO analysis output.
+
+The whole telemetry design rests on one invariant — spans observe the
+pipeline, they never steer it. This suite re-runs the golden workload
+matrix with an enabled :class:`Telemetry` threaded through the Session
+and diffs the rendered snapshots against the committed goldens in
+``tests/golden/`` (the exact files the telemetry-off matrix in
+``tests/workloads/test_golden_matrix.py`` is held to): the diff must
+be empty. A parallel-replay parity check covers the worker/stitching
+path the golden matrix doesn't reach.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analyses import analysis_names
+from repro.api import Session
+from repro.telemetry import Telemetry
+from repro.workloads import EXTRA_ORDER, TABLE3_ORDER, get
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+SCALE = 0.25  # must match tests/workloads/test_golden_matrix.py
+ALL_WORKLOADS = list(TABLE3_ORDER) + list(EXTRA_ORDER)
+
+
+@pytest.fixture(scope="session")
+def telemetry_session():
+    with Session(telemetry=Telemetry()) as s:
+        yield s
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS)
+def test_golden_matrix_identical_with_telemetry_on(telemetry_session,
+                                                   workload):
+    path = GOLDEN_DIR / f"{workload.replace('.', '_')}.json"
+    if not path.exists():
+        pytest.skip(f"no golden snapshot for {workload!r}")
+    names = analysis_names()
+    report = telemetry_session.analyze(get(workload, SCALE).source,
+                                       names, filename=workload)
+    payload = {
+        "workload": workload,
+        "scale": SCALE,
+        "analyses": {name: report[name].to_dict() for name in names},
+    }
+    rendered = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    assert rendered == path.read_text(), \
+        f"telemetry changed the {workload!r} profile"
+
+
+def test_session_recorded_spans_for_every_workload(telemetry_session):
+    """Runs after the matrix (same session fixture): the parity run
+    must actually have exercised the instrumented paths."""
+    tm = telemetry_session.telemetry
+    assert len(tm.find_spans("analyze")) >= len(ALL_WORKLOADS)
+    assert tm.find_spans("record")
+    assert tm.find_spans("replay")
+    assert tm.counters["trace.events_decoded"] > 0
+    assert tm.counters["trace.events_written"] > 0
+
+
+def test_parallel_replay_parity_with_telemetry(tmp_path):
+    """Sharded replay with telemetry on: identical analysis payloads,
+    and per-segment worker spans stitched under the coordinator."""
+    from repro.trace.parallel import parallel_replay
+    from repro.trace.writer import record_source
+
+    source = get("gzip", 0.25).source
+    trace = str(tmp_path / "gzip.trace")
+    record_source(source, trace, checkpoint_interval=2000)
+
+    baseline = parallel_replay(trace, ("dep", "locality", "hot"),
+                               jobs=1)
+    tm = Telemetry()
+    sharded = parallel_replay(trace, ("dep", "locality", "hot"),
+                              jobs=3, telemetry=tm)
+    base = {n: r.to_dict() for n, r in baseline.reports.items()}
+    got = {n: r.to_dict() for n, r in sharded.reports.items()}
+    assert got == base
+
+    if sharded.mode == "parallel":
+        coord = tm.find_spans("replay.parallel")
+        assert len(coord) == 1
+        segments = [c for c in coord[0].children if c.name == "segment"]
+        assert len(segments) == len(sharded.plan.segments)
+        ordinals = sorted(s.attrs["ordinal"] for s in segments)
+        assert ordinals == list(range(len(segments)))
+
+
+def test_sampled_record_parity_with_telemetry(tmp_path):
+    """The sampling gate's counting closures are only installed when
+    telemetry is on — they must not change what lands in the trace."""
+    from repro.trace.reader import TraceReader
+    from repro.trace.writer import record_source
+
+    source = get("gzip", 0.25).source
+    plain = str(tmp_path / "plain.trace")
+    counted = str(tmp_path / "counted.trace")
+    record_source(source, plain, sampling="interval:50")
+    tm = Telemetry()
+    record_source(source, counted, sampling="interval:50", telemetry=tm)
+
+    def events(path):
+        with TraceReader(path) as reader:
+            return list(reader.events())
+
+    assert events(counted) == events(plain)
+    kept = tm.counters["sampling.memory_events_kept"]
+    dropped = tm.counters["sampling.memory_events_dropped"]
+    assert kept > 0 and dropped > 0

@@ -1,0 +1,111 @@
+"""The --metrics artifact: payload shape, strict validation with
+violation paths, and the stats renderer."""
+
+import pytest
+
+from repro.telemetry import (METRICS_SCHEMA, METRICS_VERSION,
+                             MetricsSchemaError, Telemetry,
+                             metrics_payload, render_metrics,
+                             validate_metrics)
+
+
+def sample_payload():
+    tm = Telemetry(clock=iter(range(100)).__next__,
+                   cpu_clock=iter(range(100)).__next__)
+    with tm.span("analyze", file="p.mc"):
+        with tm.span("record") as rec:
+            rec.set(events=100)
+        with tm.span("replay"):
+            pass
+    tm.count("trace.events_decoded", 100)
+    tm.count("trace.events_written", 100)
+    tm.gauge("parallel.pool_utilization", 0.75)
+    return metrics_payload(tm, command="analyze",
+                           argv=["analyze", "p.mc"], exit_code=0)
+
+
+class TestMetricsPayload:
+    def test_shape_and_self_validation(self):
+        payload = sample_payload()
+        assert payload["schema"] == METRICS_SCHEMA
+        assert payload["version"] == METRICS_VERSION
+        assert payload["command"] == "analyze"
+        assert payload["exit_code"] == 0
+        assert [s["name"] for s in payload["spans"]] == ["analyze"]
+        assert validate_metrics(payload) is payload
+
+    def test_empty_telemetry_still_validates(self):
+        payload = metrics_payload(Telemetry(), command="record",
+                                  argv=[], exit_code=2)
+        assert validate_metrics(payload)["spans"] == []
+
+
+class TestValidationRejects:
+    def check(self, mutate, path_fragment):
+        payload = sample_payload()
+        mutate(payload)
+        with pytest.raises(MetricsSchemaError, match=path_fragment):
+            validate_metrics(payload)
+
+    def test_not_a_dict(self):
+        with pytest.raises(MetricsSchemaError, match="object"):
+            validate_metrics([1, 2])
+
+    def test_wrong_schema_tag(self):
+        self.check(lambda p: p.__setitem__("schema", "other"),
+                   "/schema")
+
+    def test_newer_version(self):
+        self.check(lambda p: p.__setitem__("version",
+                                           METRICS_VERSION + 1),
+                   "/version")
+
+    def test_bool_is_not_an_int_version(self):
+        self.check(lambda p: p.__setitem__("version", True), "/version")
+
+    def test_argv_must_be_strings(self):
+        self.check(lambda p: p.__setitem__("argv", ["ok", 3]), "/argv")
+
+    def test_span_missing_name(self):
+        self.check(lambda p: p["spans"][0].pop("name"), "/spans/0/name")
+
+    def test_span_unknown_key(self):
+        self.check(lambda p: p["spans"][0].__setitem__("extra", 1),
+                   "/spans/0")
+
+    def test_negative_wall_seconds(self):
+        self.check(
+            lambda p: p["spans"][0].__setitem__("wall_seconds", -1),
+            "/spans/0/wall_seconds")
+
+    def test_nested_child_path_reported(self):
+        self.check(
+            lambda p: p["spans"][0]["children"][0].pop("name"),
+            "/spans/0/children/0/name")
+
+    def test_counter_values_integral(self):
+        self.check(
+            lambda p: p["counters"].__setitem__("x", 1.5),
+            "/counters/x")
+
+    def test_gauge_values_numeric(self):
+        self.check(
+            lambda p: p["gauges"].__setitem__("g", "high"),
+            "/gauges/g")
+
+
+class TestRenderMetrics:
+    def test_renders_tree_counters_and_derived(self):
+        text = render_metrics(sample_payload())
+        assert "alchemist-metrics v1" in text
+        assert "analyze" in text and "record" in text
+        assert "trace.events_decoded" in text
+        assert "parallel.pool_utilization" in text
+        # Derived throughput from replay span + events_decoded counter.
+        assert "events/s" in text
+
+    def test_render_empty_run(self):
+        payload = metrics_payload(Telemetry(), command="record",
+                                  argv=[], exit_code=0)
+        text = render_metrics(payload)
+        assert "no spans" in text

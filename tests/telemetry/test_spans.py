@@ -1,0 +1,194 @@
+"""Span-tree mechanics with injected fake clocks: every timing in
+these tests is exact, never sleep- or tolerance-based."""
+
+from repro.telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry
+from repro.telemetry.spans import Span, as_telemetry
+
+
+class Ticker:
+    """A fake clock: each reading advances by ``step``."""
+
+    def __init__(self, step: float = 1.0, start: float = 0.0):
+        self.step = step
+        self.now = start
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+def make_tm() -> Telemetry:
+    # Wall ticks a full second per reading, CPU half of that: the test
+    # can predict both timings from the number of clock reads alone.
+    return Telemetry(clock=Ticker(1.0), cpu_clock=Ticker(0.5))
+
+
+class TestSpanTree:
+    def test_nesting_follows_dynamic_scope(self):
+        tm = make_tm()
+        with tm.span("outer"):
+            with tm.span("first"):
+                pass
+            with tm.span("second"):
+                with tm.span("grandchild"):
+                    pass
+        assert [s.name for s in tm.spans] == ["outer"]
+        outer = tm.spans[0]
+        assert [c.name for c in outer.children] == ["first", "second"]
+        assert [c.name for c in outer.children[1].children] == \
+            ["grandchild"]
+
+    def test_deterministic_timings(self):
+        tm = make_tm()
+        with tm.span("outer") as outer:
+            with tm.span("inner") as inner:
+                pass
+        # Wall reads: outer-enter(1), inner-enter(2), inner-exit(3),
+        # outer-exit(4); CPU reads advance by 0.5 on the same schedule.
+        assert inner.wall_seconds == 1.0
+        assert outer.wall_seconds == 3.0
+        assert inner.cpu_seconds == 0.5
+        assert outer.cpu_seconds == 1.5
+
+    def test_attrs_at_creation_and_set(self):
+        tm = make_tm()
+        with tm.span("record", file="a.mc") as span:
+            span.set(events=42, bytes=100)
+        assert span.attrs == {"file": "a.mc", "events": 42,
+                              "bytes": 100}
+
+    def test_exception_marks_error_attr(self):
+        tm = make_tm()
+        try:
+            with tm.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        span = tm.spans[0]
+        assert span.attrs["error"] == "RuntimeError"
+        assert span.wall_seconds == 1.0  # still timed
+
+    def test_sequential_roots_form_a_forest(self):
+        tm = make_tm()
+        with tm.span("a"):
+            pass
+        with tm.span("b"):
+            pass
+        assert [s.name for s in tm.spans] == ["a", "b"]
+
+    def test_walk_is_preorder(self):
+        tm = make_tm()
+        with tm.span("root"):
+            with tm.span("l"):
+                with tm.span("ll"):
+                    pass
+            with tm.span("r"):
+                pass
+        walked = [(d, s.name) for d, s in tm.spans[0].walk()]
+        assert walked == [(0, "root"), (1, "l"), (2, "ll"), (1, "r")]
+
+    def test_find_spans(self):
+        tm = make_tm()
+        with tm.span("replay"):
+            with tm.span("segment"):
+                pass
+            with tm.span("segment"):
+                pass
+        assert len(tm.find_spans("segment")) == 2
+        assert tm.find_spans("nope") == []
+
+    def test_to_dict_from_dict_roundtrip(self):
+        tm = make_tm()
+        with tm.span("root", trace="x.trace"):
+            with tm.span("child") as child:
+                child.set(n=3)
+        payload = tm.export_spans()
+        clone = Span.from_dict(tm, payload)
+        assert clone.to_dict() == payload
+        assert clone.name == "root"
+        assert clone.children[0].attrs == {"n": 3}
+        assert clone.children[0].wall_seconds == 1.0
+
+
+class TestAttachAndExport:
+    def test_attach_lands_under_open_span(self):
+        """The coordinator stitches worker payloads while its own span
+        is still open — exactly the parallel-replay shape."""
+        worker = make_tm()
+        with worker.span("segment", ordinal=0):
+            pass
+        coordinator = make_tm()
+        with coordinator.span("replay.parallel"):
+            coordinator.attach(worker.export_spans())
+        root = coordinator.spans[0]
+        assert [c.name for c in root.children] == ["segment"]
+        assert root.children[0].attrs == {"ordinal": 0}
+
+    def test_attach_none_is_noop(self):
+        tm = make_tm()
+        tm.attach(None)
+        assert tm.spans == []
+
+    def test_attach_without_open_span_becomes_root(self):
+        tm = make_tm()
+        tm.attach({"name": "orphan", "wall_seconds": 1,
+                   "cpu_seconds": 1})
+        assert [s.name for s in tm.spans] == ["orphan"]
+
+    def test_export_spans_empty(self):
+        assert make_tm().export_spans() is None
+
+
+class TestCountersAndGauges:
+    def test_count_accumulates(self):
+        tm = make_tm()
+        tm.count("trace.events_decoded", 10)
+        tm.count("trace.events_decoded", 5)
+        tm.count("hits")
+        assert tm.counters == {"trace.events_decoded": 15, "hits": 1}
+
+    def test_merge_counters_sums(self):
+        tm = make_tm()
+        tm.count("a", 1)
+        tm.merge_counters({"a": 2, "b": 7})
+        tm.merge_counters(None)
+        assert tm.counters == {"a": 3, "b": 7}
+
+    def test_gauge_last_value_wins(self):
+        tm = make_tm()
+        tm.gauge("parallel.pool_utilization", 0.5)
+        tm.gauge("parallel.pool_utilization", 0.9)
+        assert tm.gauges == {"parallel.pool_utilization": 0.9}
+
+
+class TestNullTelemetry:
+    def test_records_nothing(self):
+        tm = NullTelemetry()
+        with tm.span("x", a=1) as span:
+            tm.count("c", 5)
+            tm.gauge("g", 1.0)
+            tm.attach({"name": "w", "wall_seconds": 0,
+                       "cpu_seconds": 0})
+            span.set(b=2)
+        assert tm.spans == []
+        assert tm.counters == {}
+        assert tm.gauges == {}
+        assert tm.export_spans() is None
+        assert tm.find_spans("x") == []
+
+    def test_null_span_still_times(self):
+        """Stage timings are span-derived in BOTH modes; the disabled
+        span must produce real (non-negative) readings."""
+        with NULL_TELEMETRY.span("stage") as span:
+            sum(range(1000))
+        assert span.wall_seconds >= 0.0
+        assert span.cpu_seconds >= 0.0
+
+    def test_enabled_flags(self):
+        assert Telemetry().enabled is True
+        assert NULL_TELEMETRY.enabled is False
+
+    def test_as_telemetry_normalizes_none(self):
+        assert as_telemetry(None) is NULL_TELEMETRY
+        tm = Telemetry()
+        assert as_telemetry(tm) is tm

@@ -35,11 +35,20 @@ class TestAnalyzeVerb:
     def test_text_output_sections(self, minic_file, capsys):
         assert main(["analyze", minic_file,
                      "--analysis", "dep,locality,hot"]) == 0
-        out = capsys.readouterr().out
-        assert "replayed 1 recording through 3 analysis(es)" in out
-        assert "== dep (replay) ==" in out
-        assert "== locality (replay) ==" in out
-        assert "== hot (replay) ==" in out
+        captured = capsys.readouterr()
+        # Progress header on stderr; the report itself on stdout.
+        assert "replayed 1 recording through 3 analysis(es)" \
+            in captured.err
+        assert "== dep (replay) ==" in captured.out
+        assert "== locality (replay) ==" in captured.out
+        assert "== hot (replay) ==" in captured.out
+
+    def test_quiet_suppresses_progress(self, minic_file, capsys):
+        assert main(["analyze", minic_file, "--analysis", "dep",
+                     "--quiet"]) == 0
+        captured = capsys.readouterr()
+        assert captured.err == ""
+        assert "== dep (replay) ==" in captured.out
 
     def test_json_output_shape(self, minic_file, capsys):
         assert main(["analyze", minic_file,

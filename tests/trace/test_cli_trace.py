@@ -53,9 +53,9 @@ class TestRecordReplayCli:
 
     def test_replay_dep(self, trace_file, capsys):
         assert main(["replay", trace_file]) == 0
-        out = capsys.readouterr().out
-        assert "replayed" in out
-        assert "Method main" in out
+        captured = capsys.readouterr()
+        assert "replayed" in captured.err  # progress header: stderr
+        assert "Method main" in captured.out  # report: stdout
 
     def test_replay_multi_analysis(self, trace_file, capsys):
         assert main(["replay", trace_file,
@@ -179,7 +179,34 @@ class TestParallelReplayCli:
         assert main(["info", seamed_trace]) == 0
         out = capsys.readouterr().out
         assert "shard seam(s)" in out
+        assert "embedded in the trace footer" in out
         assert "checkpoint=" in out  # marker records in the event counts
+
+    def test_info_reports_sidecar_seams(self, minic_file, tmp_path,
+                                        capsys):
+        """v1 traces have no embedded seams; once a parallel replay (or
+        direct scan) caches a .ckpt sidecar, info reports it uniformly
+        with the embedded case — same "shard seam(s)" line, different
+        origin."""
+        from repro.trace.shards import load_or_build_checkpoints
+
+        out = str(tmp_path / "v1.trace")
+        assert main(["record", minic_file, "-o", out,
+                     "--format", "1"]) == 0
+        assert load_or_build_checkpoints(out, interval=200)
+        capsys.readouterr()
+        assert main(["info", out]) == 0
+        info_out = capsys.readouterr().out
+        assert "shard seam(s)" in info_out
+        assert ".ckpt sidecar" in info_out
+
+    def test_info_reports_no_seams(self, minic_file, tmp_path, capsys):
+        out = str(tmp_path / "bare.trace")
+        assert main(["record", minic_file, "-o", out,
+                     "--checkpoints", "0"]) == 0
+        capsys.readouterr()
+        assert main(["info", out]) == 0
+        assert "checkpoints:none" in capsys.readouterr().out
 
     def test_parallel_replay_matches_serial_output(self, seamed_trace,
                                                    capsys):
@@ -189,10 +216,10 @@ class TestParallelReplayCli:
         serial = capsys.readouterr().out
         assert main(["replay", seamed_trace, "--parallel", "--jobs", "3",
                      "--analysis", "dep,locality,counts"]) == 0
-        parallel = capsys.readouterr().out
-        assert "across" in parallel and "segment(s)" in parallel
-        # Everything after the run headers must be identical.
-        assert serial.split("\n\n", 1)[1] == parallel.split("\n\n", 1)[1]
+        captured = capsys.readouterr()
+        assert "across" in captured.err and "segment(s)" in captured.err
+        # Headers live on stderr; the stdout reports must be identical.
+        assert serial == captured.out
 
     def test_parallel_flag_falls_back_without_seams(self, minic_file,
                                                     tmp_path, capsys):
@@ -204,7 +231,7 @@ class TestParallelReplayCli:
         # falls back serially; either way it must succeed and say how.
         assert main(["replay", out, "--parallel", "--jobs", "2",
                      "--analysis", "counts"]) == 0
-        assert "analysis(es)" in capsys.readouterr().out
+        assert "analysis(es)" in capsys.readouterr().err
 
     def test_negative_jobs_rejected(self, seamed_trace, capsys):
         assert main(["replay", seamed_trace, "--jobs", "-1"]) == 2

@@ -3,8 +3,9 @@
 The sidecar used to be written with a plain ``open(side, "w")``: a
 crash mid-dump (or a reader racing the writer) could observe a torn
 JSON file, which the loader silently treats as a miss — every later
-replay rescans the trace. Writes now go to a temp file in the same
-directory and ``os.replace`` into place."""
+replay rescans the trace. Writes now go through
+:func:`repro.util.atomic_write_json`: a temp file in the same
+directory, then ``os.replace`` into place."""
 
 import json
 import os
@@ -59,13 +60,14 @@ class TestAtomicSidecar:
         side = trace + SIDECAR_SUFFIX
         before = open(side).read()
 
-        import repro.trace.shards as shards
+        import repro.util as util
 
-        def exploding_dump(payload, handle, **kwargs):
-            handle.write('{"torn": ')  # partial bytes, then the crash
+        def exploding_replace(src, dst):
+            # The temp file holds the new bytes; the publish rename is
+            # where the simulated crash lands.
             raise OSError("disk full")
 
-        monkeypatch.setattr(shards.json, "dump", exploding_dump)
+        monkeypatch.setattr(util.os, "replace", exploding_replace)
         # Different interval -> cache miss -> rebuild + attempted write.
         checkpoints = load_or_build_checkpoints(trace, interval=120)
         assert checkpoints  # degraded to scanning, not to an error
