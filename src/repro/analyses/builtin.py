@@ -108,6 +108,7 @@ class DependenceAnalysis(Analysis):
     description = ("Alchemist dependence profile: min RAW/WAR/WAW "
                    "distance per construct")
     supports_segments = True
+    batch_kind = "span"
     options = (
         OptionSpec("pool_size", int, 4096,
                    "compatibility no-op: node allocation is GC-backed "
@@ -142,6 +143,25 @@ class DependenceAnalysis(Analysis):
         self.on_write = tracer.on_write
         self.on_frame_free = tracer.on_frame_free
         self.on_finish = tracer.on_finish
+
+    def consume_batch(self, batch) -> None:
+        """Span fast path: replay the interior events of one
+        memory-quiet span through whichever hooks are currently bound
+        (the inner tracer after ``on_start``, the deferring segment
+        wrapper after ``begin_segment``)."""
+        on_read = self.on_read
+        on_write = self.on_write
+        on_block = self.on_block_enter
+        on_branch = self.on_branch
+        for etype, a, b, t in batch.rows():
+            if etype == EV_READ:
+                on_read(a, b, t)
+            elif etype == EV_WRITE:
+                on_write(a, b, t)
+            elif etype == EV_BLOCK:
+                on_block(a, t)
+            elif etype == EV_BRANCH:
+                on_branch(a, b, t)
 
     def finish(self, ctx: AnalysisContext) -> AnalysisResult:
         tracer = self.tracer
@@ -374,6 +394,7 @@ class LocalityAnalysis(Analysis):
     description = ("Exact LRU reuse-distance histogram over every "
                    "memory access")
     supports_segments = True
+    batch_kind = "block"
 
     def __init__(self) -> None:
         self._seq = 0
@@ -422,6 +443,13 @@ class LocalityAnalysis(Analysis):
     # Both reads and writes are accesses (pc/timestamp unused).
     on_read = _access
     on_write = _access
+
+    def consume_batch(self, batch) -> None:
+        """Block fast path: only the access addresses matter (reuse
+        distance ignores pc/timestamp and every other event type)."""
+        access = self._access
+        for addr in batch.access_addrs():
+            access(addr)
 
     def _prefix(self, i: int) -> int:
         tree = self._tree
@@ -533,6 +561,7 @@ class HotAddressAnalysis(Analysis):
     name = "hot"
     description = "Hottest addresses by read+write count, with names"
     supports_segments = True
+    batch_kind = "block"
     options = (
         OptionSpec("top", int, 20, "rows to keep"),
     )
@@ -549,6 +578,16 @@ class HotAddressAnalysis(Analysis):
     def on_write(self, addr: int, pc: int, timestamp: int) -> None:
         writes = self._writes
         writes[addr] = writes.get(addr, 0) + 1
+
+    def consume_batch(self, batch) -> None:
+        """Block fast path: fold pre-aggregated per-address counts
+        (order within a block cannot matter for pure counters)."""
+        reads = self._reads
+        for addr, count in batch.addr_counts(EV_READ):
+            reads[addr] = reads.get(addr, 0) + count
+        writes = self._writes
+        for addr, count in batch.addr_counts(EV_WRITE):
+            writes[addr] = writes.get(addr, 0) + count
 
     def address_totals(self) -> dict[int, int]:
         """Full read+write count per address (not just the top rows);
@@ -599,6 +638,7 @@ class CountingAnalysis(Analysis):
     name = "counts"
     description = "Raw event statistics (reads, writes, calls, ...)"
     supports_segments = True
+    batch_kind = "block"
 
     def __init__(self) -> None:
         self.counts = {"reads": 0, "writes": 0, "calls": 0,
@@ -625,6 +665,19 @@ class CountingAnalysis(Analysis):
 
     def on_frame_free(self, lo, hi) -> None:
         self.counts["frees"] += 1
+
+    def consume_batch(self, batch) -> None:
+        """Block fast path: one histogram of the block's event types
+        replaces per-event hook dispatch entirely."""
+        tally = batch.etype_counts()
+        counts = self.counts
+        counts["reads"] += tally[EV_READ]
+        counts["writes"] += tally[EV_WRITE]
+        counts["calls"] += tally[EV_ENTER]
+        counts["branches"] += tally[EV_BRANCH]
+        counts["blocks"] += tally[EV_BLOCK]
+        counts["allocs"] += tally[EV_ALLOC]
+        counts["frees"] += tally[EV_FREE]
 
     def finish(self, ctx: AnalysisContext) -> AnalysisResult:
         return _counts_result(dict(self.counts))
@@ -694,6 +747,7 @@ class FlatDependenceAnalysis(Analysis):
     description = ("Baseline: dependences aggregated by static PC "
                    "pair only")
     supports_segments = True
+    batch_kind = "span"
 
     def __init__(self) -> None:
         self.tracer: FlatTracer | None = None
@@ -709,6 +763,17 @@ class FlatDependenceAnalysis(Analysis):
     @property
     def profile(self) -> FlatProfile:
         return self.tracer.profile
+
+    def consume_batch(self, batch) -> None:
+        """Span fast path: flat attribution only watches the memory
+        stream (structural events arrive via the scalar hooks)."""
+        on_read = self.on_read
+        on_write = self.on_write
+        for etype, a, b, t in batch.rows():
+            if etype == EV_READ:
+                on_read(a, b, t)
+            elif etype == EV_WRITE:
+                on_write(a, b, t)
 
     def finish(self, ctx: AnalysisContext) -> AnalysisResult:
         return _flat_result(self.tracer.profile)
@@ -800,6 +865,7 @@ class ContextDependenceAnalysis(Analysis):
     description = ("Baseline: dependences attributed to calling "
                    "contexts")
     supports_segments = True
+    batch_kind = "span"
 
     def __init__(self) -> None:
         self.tracer = ContextSensitiveTracer()
@@ -814,6 +880,17 @@ class ContextDependenceAnalysis(Analysis):
     @property
     def profile(self) -> ContextProfile:
         return self.tracer.profile
+
+    def consume_batch(self, batch) -> None:
+        """Span fast path: routes through whichever read/write hooks
+        are bound (serial tracer or deferring segment wrapper)."""
+        on_read = self.on_read
+        on_write = self.on_write
+        for etype, a, b, t in batch.rows():
+            if etype == EV_READ:
+                on_read(a, b, t)
+            elif etype == EV_WRITE:
+                on_write(a, b, t)
 
     def finish(self, ctx: AnalysisContext) -> AnalysisResult:
         return _context_result(self.tracer.profile)
@@ -895,3 +972,15 @@ class ContextDependenceAnalysis(Analysis):
                                              min_tdep, count)
         profile.instructions = ctx.final_time
         return _context_result(profile)
+
+
+# Imported at the bottom on purpose: ``repro.trace`` imports the
+# replay engine, which imports ``repro.analyses`` — a top-of-file
+# ``from repro.trace.events import ...`` here would re-enter that
+# half-initialized package and fail whichever side imports first. The
+# ``consume_batch`` bodies above resolve these names at call time, so
+# placing the import after the class definitions is safe under both
+# import orders.
+from repro.trace.events import (EV_ALLOC, EV_BLOCK,  # noqa: E402
+                                EV_BRANCH, EV_ENTER, EV_FREE, EV_READ,
+                                EV_WRITE)

@@ -111,6 +111,9 @@ class WhatIfAnalysis(DependenceAnalysis):
     description = ("what-if advisor: predicted futures speedup per "
                    "candidate construct (Table V sweep)")
     supports_segments = True  # dep's merge machinery, inherited
+    # batch_kind = "span" and consume_batch are inherited from
+    # DependenceAnalysis: the advisor profiles through the same bound
+    # tracer hooks, so dep's span fast path is exactly right here too.
     options = (
         OptionSpec("workers", str, DEFAULT_WORKERS,
                    "comma-separated worker counts to sweep"),

@@ -94,9 +94,11 @@ class Memory:
         if self.stack_top > len(self.cells):
             self.cells.extend([0] * (self.stack_top - len(self.cells)))
         else:
-            # Reused stack memory must read as freshly zeroed.
-            for addr in range(base, self.stack_top):
-                self.cells[addr] = 0
+            # Reused stack memory must read as freshly zeroed; one
+            # slice assignment, not a per-word loop — frame pushes are
+            # on the replay engine's structural hot path.
+            self.cells[base:self.stack_top] = \
+                [0] * (self.stack_top - base)
         self.high_water = max(self.high_water, self.stack_top)
         for info in fn.locals_layout:
             if info.is_array:
@@ -128,8 +130,9 @@ class Memory:
         bucket = self._free_by_size.get(size)
         if bucket:
             base = bucket.pop()
-            for addr in range(base, base + size):
-                self.cells[addr] = 0
+            # Recycled blocks read as freshly zeroed (slice form, same
+            # reasoning as the frame-reuse zeroing in push_frame).
+            self.cells[base:base + size] = [0] * size
         else:
             base = self.heap_top
             self.heap_top += size

@@ -44,6 +44,8 @@ import zlib
 from struct import Struct
 from typing import BinaryIO, Iterator
 
+from repro.trace.columnar import (HAVE_NUMPY, EventBatch,
+                                  decode_block_columns)
 from repro.trace.events import (EV_FINISH, RECORD, RECORD_SIZE, TraceError,
                                 TraceTruncatedError)
 
@@ -91,15 +93,31 @@ def append_uvarint(buf: bytearray, n: int) -> None:
     buf.append(n)
 
 
+#: Hard length cap for one varint: 10 x 7-bit groups cover the full
+#: 64-bit range. A longer run of continuation bytes cannot be data —
+#: only corruption — and without the cap a corrupt block decodes into
+#: an arbitrarily huge int (unbounded shift = CPU/memory blowup).
+MAX_VARINT_BYTES = 10
+
+
 def read_uvarint(data: bytes, pos: int) -> tuple[int, int]:
-    """Decode one uvarint at ``pos``; returns (value, new pos)."""
+    """Decode one uvarint at ``pos``; returns (value, new pos).
+
+    Bounded: raises ``TraceError("overlong varint ...")`` after
+    :data:`MAX_VARINT_BYTES` bytes instead of shifting forever.
+    """
     result = 0
     shift = 0
     end = len(data)
+    limit = pos + MAX_VARINT_BYTES
     while True:
         if pos >= end:
             raise TraceTruncatedError(
                 "event record cut mid-way (varint runs past the block)")
+        if pos >= limit:
+            raise TraceError(
+                f"overlong varint: runs past {MAX_VARINT_BYTES} bytes "
+                "(the 64-bit cap) — corrupt block")
         byte = data[pos]
         pos += 1
         result |= (byte & 0x7F) << shift
@@ -155,8 +173,20 @@ class V2Encoder:
         # whole range, so a corrupt type can never index out of bounds).
         self._prev_a = [0] * 256
         self._prev_b = [0] * 256
+        #: Events encoded so far (all blocks) — names the offender when
+        #: a non-monotone clock is rejected below.
+        self._events = 0
 
     def add(self, etype: int, a: int, b: int, delta: int) -> None:
+        if delta < 0:
+            # An injected non-monotone clock used to fall through to
+            # bytearray.append(-1) — a bare ValueError. Timestamp
+            # deltas are unsigned on the wire; reject with context.
+            raise TraceError(
+                f"event {self._events}: clock went backwards "
+                f"(timestamp delta {delta}); v2 encodes unsigned "
+                "time deltas")
+        self._events += 1
         prev_a = self._prev_a
         da = a - prev_a[etype]
         prev_a[etype] = a
@@ -374,11 +404,188 @@ class V2Decoder:
                 self.records = records
 
 
+class V2BatchDecoder:
+    """Columnar twin of :class:`V2Decoder`: one ``EventBatch`` per block.
+
+    Same constructor surface and stats (:attr:`records`,
+    :attr:`blocks`, :attr:`compressed_bytes`, :attr:`raw_bytes`), same
+    ``state`` resume semantics, same ``block_hook`` contract — and, by
+    construction, the same events and the same typed errors:
+    :meth:`events` is pinned against ``V2Decoder.events()`` by the
+    property-based equivalence suite. Blocks the vectorized kernel
+    cannot prove well-formed (corruption, truncation, varints past the
+    legitimate 5-byte maximum) are re-decoded by an exact scalar copy
+    of the reference loop, which then stays in charge for the rest of
+    the stream — a corrupt trace costs speed, never fidelity.
+
+    :attr:`blocks_vectorized` / :attr:`blocks_fallback` feed the
+    replay engine's decode telemetry counters.
+    """
+
+    def __init__(self, handle: BinaryIO, path: str,
+                 state: dict | None = None,
+                 block_hook=None) -> None:
+        self._handle = handle
+        self.path = path
+        self.records = 0
+        self.blocks = 0
+        self.compressed_bytes = 0
+        self.raw_bytes = 0
+        self.blocks_vectorized = 0
+        self.blocks_fallback = 0
+        self.block_hook = block_hook
+        self._time = state.get("time", 0) if state else 0
+        # Kept as plain-int lists: the vector kernel reads/writes them
+        # in place, the scalar fallback shares them, and block_hook
+        # consumers JSON-serialize them (numpy ints would not round-trip).
+        self._prev_a = [0] * 256
+        self._prev_b = [0] * 256
+        if state:
+            for etype, (a, b) in dict(state.get("prev", {})).items():
+                self._prev_a[int(etype)] = a
+                self._prev_b[int(etype)] = b
+        self._finished = False
+        self._scalar_only = not HAVE_NUMPY
+
+    def batches(self) -> Iterator[EventBatch]:
+        """Yield one :class:`EventBatch` per block until FINISH."""
+        handle = self._handle
+        while not self._finished:
+            if self.block_hook is not None:
+                self.block_hook(handle.tell(), self.records, self._time,
+                                self._prev_a, self._prev_b)
+            frame = handle.read(BLOCK_HEADER_SIZE)
+            if not frame:
+                raise TraceTruncatedError(
+                    f"{self.path}: event stream ends without FINISH")
+            if len(frame) < BLOCK_HEADER_SIZE:
+                raise TraceTruncatedError(
+                    f"{self.path}: trace ends inside a block header")
+            comp_len, raw_len = BLOCK_HEADER.unpack(frame)
+            payload = handle.read(comp_len)
+            if len(payload) < comp_len:
+                raise TraceTruncatedError(
+                    f"{self.path}: trace ends mid-block "
+                    f"({len(payload)} of {comp_len} payload bytes)")
+            try:
+                data = zlib.decompress(payload)
+            except zlib.error as exc:
+                raise TraceError(
+                    f"{self.path}: corrupt trace block: {exc}") from exc
+            if len(data) != raw_len:
+                raise TraceError(
+                    f"{self.path}: block length mismatch "
+                    f"({raw_len} declared, {len(data)} decompressed)")
+            self.blocks += 1
+            self.compressed_bytes += comp_len
+            self.raw_bytes += raw_len
+            if not data:
+                continue
+            batch = None
+            if not self._scalar_only:
+                batch = self._decode_vector(data)
+            if batch is not None:
+                self.blocks_vectorized += 1
+                self.records += len(batch)
+                yield batch
+                continue
+            # Exact scalar re-decode; corruption rarely stops at one
+            # block, so stay scalar for the rest of the stream (the
+            # delta state may now hold values the kernel cannot carry).
+            self._scalar_only = True
+            self.blocks_fallback += 1
+            batch, error = self._decode_scalar(data)
+            if batch is not None:
+                self.records += len(batch)
+                yield batch
+            if error is not None:
+                raise error
+
+    def events(self) -> Iterator[Event]:
+        """Scalar view: yields exactly what ``V2Decoder.events()`` does."""
+        for batch in self.batches():
+            yield from batch.rows()
+
+    def _decode_vector(self, data: bytes) -> EventBatch | None:
+        decoded = decode_block_columns(data, self._prev_a, self._prev_b,
+                                       self._time)
+        if decoded is None:
+            return None
+        etypes, a, b, t, finished = decoded
+        self._finished = finished
+        self._time = int(t[-1])
+        return EventBatch(etypes, a, b, t)
+
+    def _decode_scalar(self, data: bytes
+                       ) -> tuple[EventBatch | None, Exception | None]:
+        """Reference per-record decode of one block into columns.
+
+        Mirrors ``V2Decoder.events()`` exactly — including which
+        events precede an error: the partial batch is returned first
+        and the error raised after it is consumed, so downstream sees
+        the same prefix-then-raise order as the scalar generator.
+        """
+        prev_a = self._prev_a
+        prev_b = self._prev_b
+        time = self._time
+        etypes: list[int] = []
+        col_a: list[int] = []
+        col_b: list[int] = []
+        col_t: list[int] = []
+        pos = 0
+        end = len(data)
+        error: Exception | None = None
+        try:
+            while pos < end:
+                etype = data[pos]
+                za = data[pos + 1]
+                if za < 0x80:
+                    pos += 2
+                else:
+                    za, pos = read_uvarint(data, pos + 1)
+                a = prev_a[etype] + (za >> 1 if not za & 1
+                                     else -(za >> 1) - 1)
+                prev_a[etype] = a
+                zb = data[pos]
+                if zb < 0x80:
+                    pos += 1
+                else:
+                    zb, pos = read_uvarint(data, pos)
+                b = prev_b[etype] + (zb >> 1 if not zb & 1
+                                     else -(zb >> 1) - 1)
+                prev_b[etype] = b
+                delta = data[pos]
+                if delta < 0x80:
+                    pos += 1
+                else:
+                    delta, pos = read_uvarint(data, pos)
+                time += delta
+                etypes.append(etype)
+                col_a.append(a)
+                col_b.append(b)
+                col_t.append(time)
+                if etype == EV_FINISH:
+                    self._finished = True
+                    break
+        except IndexError:
+            error = TraceTruncatedError(
+                f"{self.path}: block ends mid-record")
+        except TraceError as exc:  # truncated or overlong varint
+            error = exc
+        self._time = time
+        if not etypes:
+            return None, error
+        return EventBatch.from_lists(etypes, col_a, col_b, col_t), error
+
+
 def make_decoder(version: int, handle: BinaryIO, path: str,
-                 state: dict | None = None, block_hook=None):
+                 state: dict | None = None, block_hook=None,
+                 columnar: bool = False):
     if version == 1:
         return V1Decoder(handle, path, state)
     if version == 2:
+        if columnar:
+            return V2BatchDecoder(handle, path, state, block_hook)
         return V2Decoder(handle, path, state, block_hook)
     raise TraceError(f"cannot decode trace schema version {version}")
 

@@ -26,6 +26,7 @@ import os
 from typing import BinaryIO, Iterator
 
 from repro.trace.codec import Event, make_decoder
+from repro.trace.columnar import EventBatch, columnar_enabled
 from repro.trace.events import (MAGIC, RECORD_SIZE,
                                 SUPPORTED_TRACE_VERSIONS, TRACE_VERSION_V1,
                                 TRAILER, TraceError, TraceFooter,
@@ -85,18 +86,24 @@ class TraceReader:
         and shard-scan checkpoint offsets are relative to this)."""
         return self._events_start
 
-    def events(self, block_hook=None) -> Iterator[Event]:
+    def events(self, block_hook=None,
+               columnar: bool | None = None) -> Iterator[Event]:
         """Yield ``(etype, a, b, timestamp)`` for every recorded event.
 
         The FINISH event is yielded too (consumers map it to
         ``on_finish``); afterwards the footer is parsed and exposed as
         :attr:`footer`. ``block_hook`` is forwarded to a v2 decoder
         (ignored for v1) — the shard scanner's window into block
-        boundaries.
+        boundaries. ``columnar`` picks the v2 decoder flavor: the
+        batch decoder streams the same events block-at-a-time (the
+        default when numpy is available; see
+        :func:`repro.trace.columnar.columnar_enabled`).
         """
         self._handle.seek(self._events_start)
         decoder = make_decoder(self.version, self._handle, self.path,
-                               block_hook=block_hook)
+                               block_hook=block_hook,
+                               columnar=(self.version != TRACE_VERSION_V1
+                                         and columnar_enabled(columnar)))
         self.decoder = decoder
         yield from decoder.events()
         # The decoder returned, so FINISH was seen (anything else
@@ -105,6 +112,23 @@ class TraceReader:
             self._read_footer_v1(decoder.records)
         else:
             self.read_footer()
+
+    def batches(self, block_hook=None) -> Iterator[EventBatch]:
+        """Yield one :class:`EventBatch` per v2 block (the replay
+        engines' fast path), then parse the footer like :meth:`events`.
+
+        Raises :class:`TraceError` for v1 traces — fixed records have
+        no block framing; callers fall back to :meth:`events`.
+        """
+        if self.version == TRACE_VERSION_V1:
+            raise TraceError(
+                f"{self.path}: columnar batches need a v2 trace")
+        self._handle.seek(self._events_start)
+        decoder = make_decoder(self.version, self._handle, self.path,
+                               block_hook=block_hook, columnar=True)
+        self.decoder = decoder
+        yield from decoder.batches()
+        self.read_footer()
 
     def _read_footer_v1(self, records: int) -> None:
         """Parse ``[blob][len][trailer]``, right after the records."""
@@ -126,7 +150,8 @@ class TraceReader:
         self.footer = TraceFooter.from_bytes(blob)
 
     def events_from(self, offset: int,
-                    codec_state: dict | None = None) -> Iterator[Event]:
+                    codec_state: dict | None = None,
+                    columnar: bool | None = None) -> Iterator[Event]:
         """Stream events from a checkpointed seam instead of the start.
 
         ``offset`` must be a block boundary (v2) or a record boundary
@@ -139,9 +164,26 @@ class TraceReader:
         """
         self._handle.seek(offset)
         decoder = make_decoder(self.version, self._handle, self.path,
-                               state=codec_state)
+                               state=codec_state,
+                               columnar=(self.version != TRACE_VERSION_V1
+                                         and columnar_enabled(columnar)))
         self.decoder = decoder
         return decoder.events()
+
+    def batches_from(self, offset: int,
+                     codec_state: dict | None = None
+                     ) -> Iterator[EventBatch]:
+        """Batch flavor of :meth:`events_from`: stream
+        :class:`EventBatch` objects from a checkpointed v2 seam. Same
+        caller-owns-termination contract (no footer read)."""
+        if self.version == TRACE_VERSION_V1:
+            raise TraceError(
+                f"{self.path}: columnar batches need a v2 trace")
+        self._handle.seek(offset)
+        decoder = make_decoder(self.version, self._handle, self.path,
+                               state=codec_state, columnar=True)
+        self.decoder = decoder
+        return decoder.batches()
 
     def checkpoints(self) -> list[dict]:
         """Checkpoint payloads embedded in the footer (may be empty)."""

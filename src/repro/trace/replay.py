@@ -42,10 +42,12 @@ from repro.analyses.builtin import (ContextDependenceAnalysis,
 from repro.ir.cfg import ProgramIR
 from repro.ir.lowering import compile_source
 from repro.runtime.memory import Memory
+from repro.trace.columnar import columnar_enabled
 from repro.trace.events import (EV_ALLOC, EV_BLOCK, EV_BRANCH,
                                 EV_CHECKPOINT, EV_ENTER, EV_EXIT,
                                 EV_FINISH, EV_FREE, EV_READ, EV_WRITE,
-                                TraceError, source_digest)
+                                TRACE_VERSION_V1, TraceError,
+                                source_digest)
 from repro.trace.reader import TraceReader
 
 # -- deprecated pre-registry names (thin shims) -----------------------------
@@ -135,6 +137,151 @@ DISPATCHED_HOOKS = ("on_enter_function", "on_exit_function",
                     "on_heap_alloc", "on_frame_free", "on_finish")
 
 
+def _batch_mode(consumer) -> str | None:
+    """How a consumer wants its events: ``"block"``/``"span"`` if it
+    declared a usable ``consume_batch``, else ``None`` (per-event
+    hooks). Non-Analysis tracers without the attributes land on the
+    scalar path automatically."""
+    kind = getattr(consumer, "batch_kind", None)
+    if kind not in ("block", "span"):
+        return None
+    if getattr(consumer, "consume_batch", None) is None:
+        return None
+    return kind
+
+
+def dispatch_batches(batches, consumers: list, memory: Memory,
+                     functions: list, check_allocs: bool = True,
+                     budget: int | None = None,
+                     segment: bool = False) -> tuple[int, int]:
+    """Columnar twin of the scalar dispatch loops: drive decoded
+    :class:`~repro.trace.columnar.EventBatch` blocks through the
+    consumers, replaying memory reconstruction at the structural seams.
+
+    Consumers split three ways by :func:`_batch_mode`:
+
+    * ``"block"`` — ``consume_batch`` sees each whole block once and
+      no per-event hooks fire for it (valid only for analyses that
+      never consult :class:`Memory`);
+    * ``"span"`` — ``consume_batch`` sees the maximal memory-quiet
+      sub-batches between structural events; the structural events
+      themselves (ENTER/EXIT/ALLOC/FREE/FINISH) still arrive through
+      the scalar hooks with memory synchronized exactly as the scalar
+      engine would have it;
+    * ``None`` — every event is dispatched per-hook, exactly like the
+      scalar loop (custom plugins keep working unmodified).
+
+    ``budget`` caps the number of events consumed (the parallel
+    segment driver's slice discipline); ``segment`` selects the
+    segment-flavored heap-divergence message. Returns
+    ``(final_time, events_consumed)``.
+    """
+    block_consumers = [c for c in consumers if _batch_mode(c) == "block"]
+    span_consumers = [c for c in consumers if _batch_mode(c) == "span"]
+    scalar_consumers = [c for c in consumers if _batch_mode(c) is None]
+
+    # Structural hooks fire for span + scalar consumers (block
+    # consumers already saw those events inside their batch); interior
+    # hooks fire for scalar consumers only.
+    hooked = span_consumers + scalar_consumers
+    on_enter = live_hooks(hooked, "on_enter_function")
+    on_exit = live_hooks(hooked, "on_exit_function")
+    on_alloc = live_hooks(hooked, "on_heap_alloc")
+    on_free = live_hooks(hooked, "on_frame_free")
+    on_finish = live_hooks(hooked, "on_finish")
+    on_block = live_hooks(scalar_consumers, "on_block_enter")
+    on_branch = live_hooks(scalar_consumers, "on_branch")
+    on_read = live_hooks(scalar_consumers, "on_read")
+    on_write = live_hooks(scalar_consumers, "on_write")
+    block_feeds = [c.consume_batch for c in block_consumers]
+    span_feeds = [c.consume_batch for c in span_consumers]
+    scalar_spans = bool(on_read or on_write or on_block or on_branch)
+    feed_spans = bool(span_feeds) or scalar_spans
+
+    push_frame = memory.push_frame
+    pop_frame = memory.pop_frame
+    heap_alloc = memory.heap_alloc
+    heap_free = memory.heap_free
+    heap_base = memory.heap_base
+    where = " in segment" if segment else ""
+
+    final_time = 0
+    consumed = 0
+
+    def run_span(span) -> None:
+        for feed in span_feeds:
+            feed(span)
+        if not scalar_spans:
+            return
+        for etype, a, b, t in span.rows():
+            if etype == EV_READ:
+                for hook in on_read:
+                    hook(a, b, t)
+            elif etype == EV_WRITE:
+                for hook in on_write:
+                    hook(a, b, t)
+            elif etype == EV_BLOCK:
+                for hook in on_block:
+                    hook(a, t)
+            elif etype == EV_BRANCH:
+                for hook in on_branch:
+                    hook(a, b, t)
+            # EV_CHECKPOINT: shard seam marker, nothing to dispatch.
+
+    for batch in batches:
+        if budget is not None and len(batch) > budget - consumed:
+            batch = batch.slice(0, budget - consumed)
+        unknown = batch.first_unknown_etype()
+        if unknown is not None:
+            raise TraceError(f"unknown event type {unknown}")
+        for feed in block_feeds:
+            feed(batch)
+        seams = batch.structural_indices()
+        pos = 0
+        s_et, s_a, s_b, s_t = batch.gather(seams)
+        for idx, etype, a, b, t in zip(seams, s_et, s_a, s_b, s_t):
+            if feed_spans and idx > pos:
+                run_span(batch.slice(pos, idx))
+            pos = idx + 1
+            if etype == EV_ENTER:
+                push_frame(functions[a])
+                name = functions[a].name
+                for hook in on_enter:
+                    hook(name, b, t)
+            elif etype == EV_EXIT:
+                name = functions[a].name
+                for hook in on_exit:
+                    hook(name, t)
+                pop_frame()
+            elif etype == EV_FREE:
+                # Heap blocks always have size > 0; an empty range is
+                # a degenerate stack-frame free (and could sit exactly
+                # at heap_base when the stack region is full).
+                if b and a >= heap_base:
+                    heap_free(a)
+                hi = a + b
+                for hook in on_free:
+                    hook(a, hi)
+            elif etype == EV_ALLOC:
+                base = heap_alloc(b)
+                if check_allocs and base != a:
+                    raise TraceError(
+                        f"heap replay diverged{where}: alloc returned "
+                        f"{base}, trace recorded {a}")
+                for hook in on_alloc:
+                    hook(a, b, t)
+            else:  # EV_FINISH (the decoder never puts it mid-block)
+                final_time = t
+                for hook in on_finish:
+                    hook(t)
+        if feed_spans and pos < len(batch):
+            run_span(batch.slice(pos, len(batch)))
+        consumed += len(batch)
+        if budget is not None and consumed >= budget:
+            break
+    return final_time, consumed
+
+
 class ReplayEngine:
     """Streams a trace once through any number of analyses.
 
@@ -146,10 +293,16 @@ class ReplayEngine:
     """
 
     def __init__(self, reader: TraceReader, program: ProgramIR | None = None,
-                 check_allocs: bool = True, telemetry=None):
+                 check_allocs: bool = True, telemetry=None,
+                 columnar: bool | None = None):
         from repro.telemetry import as_telemetry
 
         self.telemetry = as_telemetry(telemetry)
+        #: Tri-state batch-path switch: ``None`` defers to
+        #: :func:`repro.trace.columnar.columnar_enabled` (env override,
+        #: then numpy availability); True/False force it — the bench
+        #: harness pins both sides this way.
+        self.columnar = columnar
         self.reader = reader
         header = reader.header
         if program is None:
@@ -207,6 +360,11 @@ class ReplayEngine:
             else:  # v1: fixed records, no compression layer
                 tm.count("trace.bytes_read",
                          getattr(decoder, "records", 0) * 13)
+            vectorized = getattr(decoder, "blocks_vectorized", 0)
+            fallback = getattr(decoder, "blocks_fallback", 0)
+            if vectorized or fallback:
+                tm.count("trace.blocks_batched", vectorized)
+                tm.count("trace.blocks_scalar_fallback", fallback)
             from repro.telemetry import get_logger
 
             get_logger(__name__).info(
@@ -235,8 +393,19 @@ class ReplayEngine:
         """Stream every event through the bound hooks; returns the
         final timestamp. Hook lists are bound here — after ``on_start``
         (analyses may rebind hooks there) — dropping inherited no-op
-        hooks from the dispatch."""
+        hooks from the dispatch.
+
+        v2 traces ride the columnar batch path when enabled (see
+        :func:`repro.trace.columnar.columnar_enabled`); v1 traces and
+        disabled runs use the per-event loop below, which stays the
+        reference semantics the batch path is tested against."""
         reader = self.reader
+        if (reader.version != TRACE_VERSION_V1
+                and columnar_enabled(self.columnar)):
+            final_time, _ = dispatch_batches(
+                reader.batches(), consumers, memory, functions,
+                check_allocs=self.check_allocs)
+            return final_time
         on_enter = live_hooks(consumers, "on_enter_function")
         on_exit = live_hooks(consumers, "on_exit_function")
         on_block = live_hooks(consumers, "on_block_enter")
@@ -255,7 +424,7 @@ class ReplayEngine:
         check_allocs = self.check_allocs
 
         final_time = 0
-        for etype, a, b, t in reader.events():
+        for etype, a, b, t in reader.events(columnar=False):
             if etype == EV_READ:
                 for hook in on_read:
                     hook(a, b, t)
@@ -332,21 +501,25 @@ class ReplayOutcome:
 
 def replay_trace(path: str, analyses: Iterable[str] | str = ("dep",),
                  program: ProgramIR | None = None,
-                 telemetry=None) -> ReplayOutcome:
+                 telemetry=None,
+                 columnar: bool | None = None) -> ReplayOutcome:
     """Replay ``path`` through the named analyses in one pass."""
     consumers = make_consumers(analyses)
-    return replay_with(path, consumers, program, telemetry=telemetry)
+    return replay_with(path, consumers, program, telemetry=telemetry,
+                       columnar=columnar)
 
 
 def replay_with(path: str, consumers: list[Analysis],
                 program: ProgramIR | None = None,
-                telemetry=None) -> ReplayOutcome:
+                telemetry=None,
+                columnar: bool | None = None) -> ReplayOutcome:
     """Replay ``path`` through already-instantiated analyses."""
     from repro.telemetry import as_telemetry
 
     tm = as_telemetry(telemetry)
     with TraceReader(path) as reader:
-        engine = ReplayEngine(reader, program, telemetry=tm)
+        engine = ReplayEngine(reader, program, telemetry=tm,
+                              columnar=columnar)
         ctx = engine.run(consumers)
     reports = {}
     for consumer in consumers:

@@ -382,13 +382,19 @@ def build_checkpoints(path: str | os.PathLike,
                 pending["records"] = records
                 pending["prev"] = _sparse_prev(prev_a, prev_b)
 
-            for etype, a, b, t in reader.events(block_hook=hook):
+            # The scan rides the batch decoder: a checkpoint is only
+            # ever eligible at a block boundary (``pending["records"]``
+            # can equal ``builder.index`` nowhere else), so checking
+            # once per batch is exactly the per-event check.
+            apply = builder.apply
+            for batch in reader.batches(block_hook=hook):
                 if (pending and pending["records"] == builder.index
                         and builder.index - last_index >= interval):
                     checkpoints.append(builder.snapshot(
                         pending["offset"], {"prev": pending["prev"]}))
                     last_index = builder.index
-                builder.apply(etype, a, b, t)
+                for etype, a, b, t in batch.rows():
+                    apply(etype, a, b, t)
         else:
             start = reader.events_start
             for etype, a, b, t in reader.events():
