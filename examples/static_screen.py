@@ -1,0 +1,73 @@
+"""Screen statically, then confirm dynamically with confidence tiers.
+
+Run with::
+
+    python examples/static_screen.py
+
+The program below has two hot loops: a blur over disjoint rows
+(parallelizable) and a prefix-sum whose accumulator chains every
+iteration (not). The static pass ranks them *before any execution* —
+no trace, no run — and the what-if advisor then confirms the ranking
+from a real profile, labelling each verdict with the static/dynamic
+agreement tier (``must`` / ``may`` / ``dynamic-only``).
+"""
+
+from repro.api import Session
+
+SOURCE = """
+int rows[96];
+int blurred[96];
+int prefix[96];
+int total;
+
+int main() {
+    int i;
+    for (i = 0; i < 96; i = i + 1) {
+        rows[i] = (i * 37 + 11) % 255;
+    }
+
+    /* Disjoint reads/writes per iteration: statically independent. */
+    for (i = 1; i < 95; i = i + 1) {
+        blurred[i] = (rows[i - 1] + rows[i] + rows[i + 1]) / 3;
+    }
+
+    /* The running total chains iterations: statically MUST_DEP. */
+    total = 0;
+    for (i = 0; i < 96; i = i + 1) {
+        total = total + blurred[i];
+        prefix[i] = total;
+    }
+    return total % 256;
+}
+"""
+
+
+def main() -> None:
+    with Session() as session:
+        # -- zero-execution screening --------------------------------
+        static = session.static_report(SOURCE)
+        print("Static screen (no execution):")
+        for row in static.screen_rows():
+            if row["kind"] != "loop":
+                continue
+            deps = ", ".join(row["must_raw"] + row["may_raw"]) or "none"
+            print(f"  line {row['line']:3d} [{row['verdict']:>11}] "
+                  f"loop-carried RAW: {deps}")
+        assert session.stats.records == 0, "screening must not execute"
+
+        # -- dynamic confirmation with confidence tiers --------------
+        print("\nWhat-if advisor (one recorded run):")
+        result = session.advise(SOURCE, workers=(2, 4, 8))
+        for entry in result.data["candidates"]:
+            best = entry["best"]
+            print(f"  {entry['name']:<16} {entry['verdict']:<9} "
+                  f"confidence={entry['confidence']:<4} "
+                  f"best x{best['speedup']:.2f} @{best['workers']}w")
+        for entry in result.data["skipped"]:
+            print(f"  {entry['name']:<16} {entry['verdict']:<9} "
+                  f"confidence={entry['confidence']:<4} "
+                  f"skipped: {entry['reason'][:40]}...")
+
+
+if __name__ == "__main__":
+    main()

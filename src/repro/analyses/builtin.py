@@ -71,9 +71,12 @@ def profile_summary(report: ProfileReport) -> dict[str, Any]:
 
 
 def _dep_result(report: ProfileReport, track_war_waw: bool,
-                sampling: str | None) -> AnalysisResult:
+                sampling: str | None,
+                telemetry: Any = None) -> AnalysisResult:
     """Shared result rendering for serial ``finish`` and the parallel
     ``finalize_segments`` — one code path, so the two cannot drift."""
+    from repro.staticdep import fuse_profile, report_for
+
     kinds = ((DepKind.RAW, DepKind.WAW, DepKind.WAR)
              if track_war_waw else (DepKind.RAW,))
     data = profile_summary(report)
@@ -89,6 +92,10 @@ def _dep_result(report: ProfileReport, track_war_waw: bool,
                  f"({sampling}); dependences may be missed or "
                  "mis-paired and min distances shifted — treat as "
                  "lower-confidence hints, not proof.")
+    static = report_for(report.program, telemetry)
+    fusion, fusion_lines = fuse_profile(report, static, sampling, telemetry)
+    data["static"] = fusion
+    text += "\n" + "\n".join(fusion_lines)
     return AnalysisResult(analysis="dep", data=data, text=text,
                           payload=report)
 
@@ -182,7 +189,8 @@ class DependenceAnalysis(Analysis):
         report = ProfileReport(ctx.program, self.table, tracer.store,
                                stats, ctx.exit_value,
                                [tuple(v) for v in ctx.output])
-        return _dep_result(report, self.track_war_waw, ctx.sampling)
+        return _dep_result(report, self.track_war_waw, ctx.sampling,
+                           getattr(ctx, "telemetry", None))
 
     # -- segment/merge protocol -------------------------------------------
 
@@ -322,7 +330,8 @@ class DependenceAnalysis(Analysis):
         report = ProfileReport(ctx.program, table, store, stats,
                                ctx.exit_value,
                                [tuple(v) for v in ctx.output])
-        return _dep_result(report, state["track_war_waw"], ctx.sampling)
+        return _dep_result(report, state["track_war_waw"], ctx.sampling,
+                           getattr(ctx, "telemetry", None))
 
 
 @dataclass

@@ -231,7 +231,10 @@ def _advise(report: ProfileReport, ctx: AnalysisContext,
             worker_counts: tuple[int, ...], top: int,
             jobs: int) -> AnalysisResult:
     """Advisor candidates × worker counts -> the ranked what-if result."""
-    recommendations = Advisor(report).recommend(top)
+    from repro.staticdep import report_for
+
+    static = report_for(ctx.program, getattr(ctx, "telemetry", None))
+    recommendations = Advisor(report, static_report=static).recommend(top)
 
     skipped: list[dict[str, Any]] = []
     simulate: list[Recommendation] = []
@@ -324,9 +327,11 @@ def _render(data: dict[str, Any]) -> str:
     for rank, entry in enumerate(data["candidates"], start=1):
         private = (" privatize: " + ", ".join(entry["privatize"])
                    if entry["privatize"] else "")
+        confidence = entry.get("confidence", "dynamic-only")
         lines.append(
             f"{rank:2d}. {entry['name']} (line {entry['line']}, "
-            f"{entry['kind']}) [{entry['verdict']}]{private}")
+            f"{entry['kind']}) [{entry['verdict']}, "
+            f"{confidence} confidence]{private}")
         sweep = "  ".join(
             f"x{w}={entry['speedups'][str(w)]['speedup']:.2f}"
             for w in data["workers"])

@@ -74,8 +74,28 @@ def immediate_dominators(
     return idom
 
 
+def reachable_blocks(fn: FunctionIR) -> set[int]:
+    """Block ids reachable from the function entry (forward CFG,
+    :data:`VIRTUAL_EXIT` excluded). Dead blocks — e.g. code lowered
+    after an unconditional ``return`` — are not in this set."""
+    blocks = fn.block_map()
+    reachable: set[int] = set()
+    stack = [fn.entry_block.id]
+    while stack:
+        node = stack.pop()
+        if node in reachable or node == VIRTUAL_EXIT:
+            continue
+        reachable.add(node)
+        stack.extend(blocks[node].successors())
+    return reachable
+
+
 def dominators_of(fn: FunctionIR) -> dict[int, int]:
-    """Immediate dominators of a function's blocks (by block id)."""
+    """Immediate dominators of a function's blocks (by block id).
+
+    Only blocks reachable from the entry appear (both as keys and as
+    values): unreachable blocks have no dominators, not degenerate ones.
+    """
     blocks = fn.block_map()
 
     def successors(block_id: int) -> list[int]:
@@ -91,12 +111,18 @@ def post_dominators(fn: FunctionIR) -> dict[int, int]:
 
     The reverse CFG is rooted at :data:`VIRTUAL_EXIT`; every ``Ret`` block
     has an edge to it. Blocks that cannot reach the exit (infinite loops)
-    are absent from the result.
+    are absent from the result — and so are blocks unreachable from the
+    function entry: a dead block after a ``return`` that jumps into live
+    code still reaches the exit, but it never executes, so including it
+    would both pollute live blocks' predecessor sets and hand callers
+    idom entries for blocks no execution visits.
     """
+    reachable = reachable_blocks(fn)
     preds = fn.predecessors()
 
     def reverse_successors(block_id: int) -> list[int]:
-        return preds.get(block_id, [])
+        return [p for p in preds.get(block_id, [])
+                if p in reachable]
 
     ipdom = immediate_dominators(VIRTUAL_EXIT, reverse_successors)
     ipdom.pop(VIRTUAL_EXIT, None)

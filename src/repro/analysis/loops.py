@@ -69,8 +69,11 @@ def _canonical_branch(blocks, loop: LoopInfo) -> int | None:
     header_term = blocks[loop.header].terminator
     if isinstance(header_term, ins.Branch):
         return header_term.pc
-    for source, _ in loop.back_edges:
-        term = blocks[source].terminator
-        if isinstance(term, ins.Branch):
-            return term.pc
-    return None
+    # A shared-header loop (merged back edges) can have several
+    # branch-terminated back-edge sources; pick the smallest pc so the
+    # choice is a property of the loop, not of the order the back edges
+    # happened to be discovered in.
+    candidates = [blocks[source].terminator.pc
+                  for source, _ in loop.back_edges
+                  if isinstance(blocks[source].terminator, ins.Branch)]
+    return min(candidates) if candidates else None

@@ -28,7 +28,10 @@ import os
 import tempfile
 import time as _time
 from dataclasses import dataclass
-from typing import Any, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
+
+if TYPE_CHECKING:
+    from repro.staticdep.report import StaticDepReport
 
 from repro.analyses import (Analysis, AnalysisContext, AnalysisError,
                             AnalysisResult, make_analyses, parse_spec)
@@ -124,6 +127,9 @@ class Session:
         # different questions than a full one and must never shadow it.
         self._programs: dict[tuple[str, str], ProgramIR] = {}
         self._traces: dict[tuple[str, str, int], str] = {}
+        # Static dependence reports are execution-free, so they key on
+        # the IR digest alone — any filename alias shares one report.
+        self._static: dict[str, "StaticDepReport"] = {}
         self._tmpdir: tempfile.TemporaryDirectory | None = None
         self._cache_dir = os.fspath(cache_dir) if cache_dir else None
 
@@ -133,6 +139,7 @@ class Session:
         """Drop caches; remove the private trace directory if we made it."""
         self._programs.clear()
         self._traces.clear()
+        self._static.clear()
         if self._tmpdir is not None:
             self._tmpdir.cleanup()
             self._tmpdir = None
@@ -168,6 +175,22 @@ class Session:
         self._programs[key] = program
         self.stats.compiles += 1
         return program
+
+    def static_report(self, source: str,
+                      filename: str = "<input>") -> "StaticDepReport":
+        """The static dependence report for a program — zero execution,
+        no trace; cached by source digest (``alchemist screen``)."""
+        from repro.staticdep import analyze_program
+
+        digest = source_digest(source)
+        cached = self._static.get(digest)
+        if cached is not None:
+            self.telemetry.count("session.static_cache_hits")
+            return cached
+        program = self.compile(source, filename)
+        report = analyze_program(program, self.telemetry)
+        self._static[digest] = report
+        return report
 
     def _trace_key(self, digest: str) -> tuple[str, str, int]:
         """Cache key of a recording under the session's options: one

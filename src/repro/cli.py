@@ -238,16 +238,27 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     with Session(options) as session:
         outcome = session.analyze(_read(args.file), ("dep",),
                                   filename=args.file, mode="live")
-    report = outcome["dep"].payload
+    result = outcome["dep"]
+    report = result.payload
     kinds = (DepKind.RAW,) if args.raw_only else (
         DepKind.RAW, DepKind.WAW, DepKind.WAR)
     print(report.to_text(top=args.top, max_edges=args.edges, kinds=kinds))
+    # Keep profile/analyze/replay dependence output byte-identical:
+    # the static fusion lines live in the analysis text, not the report.
+    lines = result.text.splitlines()
+    starts = [i for i, line in enumerate(lines)
+              if line.startswith("Static fusion:")]
+    if starts:
+        print("\n".join(lines[starts[0]:]))
     print()
     print(report.describe_run())
     if not args.no_advice:
+        from repro.staticdep import report_for
+
         print()
         print("Advisor recommendations:")
-        for rec in Advisor(report).recommend(args.top):
+        advisor = Advisor(report, static_report=report_for(report.program))
+        for rec in advisor.recommend(args.top):
             print(rec.describe())
     return 0
 
@@ -311,6 +322,46 @@ def _cmd_advise(args: argparse.Namespace) -> int:
         return 0
     print(result.to_text())
     return 0
+
+
+def _cmd_screen(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.api import Session
+
+    if args.top < 1:
+        raise CliError(f"--top must be >= 1, got {args.top}")
+    source = _read(args.file)
+    with Session(telemetry=args.telemetry) as session:
+        static = session.static_report(source, filename=args.file)
+    payload = static.to_dict()
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(_render_screen(payload, args.top))
+    return 0
+
+
+def _render_screen(payload: dict, top: int) -> str:
+    """Text ranking for ``alchemist screen`` (best candidates first)."""
+    tally = payload["verdicts"]
+    lines = [f"Static screen: {payload['static_constructs']} "
+             f"construct(s) — {tally['independent']} independent, "
+             f"{tally['may-dep']} may-dep, {tally['must-dep']} must-dep "
+             "(zero execution)"]
+    rows = payload["rows"]
+    for rank, row in enumerate(rows[:top], start=1):
+        lines.append(f"{rank:2d}. {row['name']} (line {row['line']}, "
+                     f"{row['kind']}) [{row['verdict']}] "
+                     f"weight {row['weight']}")
+        if row["must_raw"]:
+            lines.append("      must RAW: " + ", ".join(row["must_raw"]))
+        if row["may_raw"]:
+            lines.append("      may RAW: " + ", ".join(row["may_raw"]))
+    if len(rows) > top:
+        lines.append(f"      ... and {len(rows) - top} more "
+                     "(raise --top to see them)")
+    return "\n".join(lines)
 
 
 def _cmd_annotate(args: argparse.Namespace) -> int:
@@ -868,6 +919,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "to serial)")
     _add_observability(p_adv)
     p_adv.set_defaults(func=_cmd_advise)
+
+    p_scr = sub.add_parser(
+        "screen",
+        help="static dependence screening: rank candidate constructs "
+             "with zero execution (no trace, no run)")
+    p_scr.add_argument("file")
+    p_scr.add_argument("--top", type=int, default=10,
+                       help="constructs shown in the text ranking "
+                            "(default 10; JSON always carries all)")
+    p_scr.add_argument("--json", action="store_true",
+                       help="emit the full static report as JSON")
+    _add_observability(p_scr)
+    p_scr.set_defaults(func=_cmd_screen)
 
     p_ann = sub.add_parser("annotate",
                            help="annotated guidance for one construct")

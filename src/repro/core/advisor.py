@@ -17,9 +17,23 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.profile_data import DepKind, EdgeStats
 from repro.core.report import ConstructView, ProfileReport
+
+if TYPE_CHECKING:
+    from repro.staticdep.report import StaticDepReport
+
+#: Confidence tiers for a recommendation, from static/dynamic agreement:
+#: ``must`` — the static pass proves the dynamic verdict (every blocking
+#: RAW edge is a MUST_DEP, or no loop-carried RAW class survives
+#: statically); ``may`` — static analysis leaves room for the dynamic
+#: picture to be incomplete (aliasing, arrays, sampling); ``dynamic-only``
+#: — no static report was supplied.
+CONFIDENCE_MUST = "must"
+CONFIDENCE_MAY = "may"
+CONFIDENCE_DYNAMIC = "dynamic-only"
 
 
 class Verdict(enum.Enum):
@@ -44,6 +58,7 @@ class Recommendation:
     privatize: list[str] = field(default_factory=list)
     join_hints: list[EdgeStats] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    confidence: str = CONFIDENCE_DYNAMIC
 
     @property
     def blocked_reason(self) -> str | None:
@@ -76,6 +91,7 @@ class Recommendation:
             "blocking_raw": len(self.blocking_raw),
             "join_hints": len(self.join_hints),
             "notes": list(self.notes),
+            "confidence": self.confidence,
         }
 
     def describe(self) -> str:
@@ -88,6 +104,9 @@ class Recommendation:
         if self.join_hints:
             lines.append(f"  join before {len(self.join_hints)} "
                          "read site(s) to respect remaining RAW edges")
+        if self.confidence != CONFIDENCE_DYNAMIC:
+            lines.append(f"  confidence: {self.confidence} "
+                         "(static dependence pass)")
         lines.extend(f"  note: {n}" for n in self.notes)
         return "\n".join(lines)
 
@@ -96,9 +115,11 @@ class Advisor:
     """Ranks constructs and derives the required transformations."""
 
     def __init__(self, report: ProfileReport,
-                 min_size_fraction: float = 0.005):
+                 min_size_fraction: float = 0.005,
+                 static_report: "StaticDepReport | None" = None):
         self.report = report
         self.min_size_fraction = min_size_fraction
+        self.static_report = static_report
 
     def recommend(self, top: int = 10) -> list[Recommendation]:
         """Ranked recommendations: parallelizable first, largest first."""
@@ -166,4 +187,29 @@ class Advisor:
             privatize=privatize,
             join_hints=safe_raw,
             notes=notes,
+            confidence=self._confidence(view, verdict, blocking),
         )
+
+    def _confidence(self, view: ConstructView, verdict: Verdict,
+                    blocking: list[EdgeStats]) -> str:
+        """Agreement tier between the dynamic verdict and the static
+        pass. ``BLOCKED`` is *must*-confident when every blocking RAW
+        edge is statically certain (MUST_DEP); ``READY``/``TRANSFORM``
+        are *must*-confident when the static pass finds no loop-carried
+        RAW class at all — nothing a different input or a sampling gap
+        could reveal. Anything the static pass cannot pin down stays
+        ``may``.
+        """
+        static = self.static_report
+        if static is None:
+            return CONFIDENCE_DYNAMIC
+        from repro.staticdep.model import StaticVerdict
+        if verdict is Verdict.BLOCKED:
+            certain = all(
+                static.classify_edge(view.pc, e.head_pc, e.tail_pc,
+                                     DepKind.RAW) is StaticVerdict.MUST_DEP
+                for e in blocking)
+            return CONFIDENCE_MUST if certain else CONFIDENCE_MAY
+        if static.raw_classes(view.pc):
+            return CONFIDENCE_MAY
+        return CONFIDENCE_MUST

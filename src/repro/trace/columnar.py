@@ -119,8 +119,17 @@ class EventBatch:
     def from_lists(cls, etypes: list, a: list, b: list, t: list
                    ) -> "EventBatch":
         """Wrap scalar-decoded columns (keeps the lists as the cache)."""
-        return cls(array("q", etypes), array("q", a), array("q", b),
-                   array("q", t), _lists=(etypes, a, b, t))
+        try:
+            return cls(array("q", etypes), array("q", a), array("q", b),
+                       array("q", t), _lists=(etypes, a, b, t))
+        except OverflowError:
+            # A corrupt-but-parseable block can carry varint values
+            # outside int64 (the scalar decoder's 10-byte cap admits up
+            # to 70 value bits, yielding Python bigints). Keep plain
+            # lists as the columns so the batch surface reproduces the
+            # scalar decoder's events bit for bit instead of raising.
+            return cls(list(etypes), list(a), list(b), list(t),
+                       _lists=(etypes, a, b, t))
 
     def __len__(self) -> int:
         return len(self.etypes)

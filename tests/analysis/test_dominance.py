@@ -6,7 +6,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis.dominance import (dominates, dominators_of,
-                                      immediate_dominators, post_dominators)
+                                      immediate_dominators,
+                                      post_dominators, reachable_blocks)
 from repro.ir import compile_source
 from repro.ir.cfg import VIRTUAL_EXIT
 
@@ -146,3 +147,59 @@ class TestDualityProperty:
             exit_node, lambda n: list(reverse.successors(n)))
         assert got[exit_node] == exit_node
         assert {k: v for k, v in got.items() if k != exit_node} == expected
+
+
+class TestDeadBlocks:
+    """Blocks unreachable from the entry (e.g. code lowered after an
+    unconditional ``return``) must be excluded from both dominator
+    maps instead of producing degenerate entries."""
+
+    DEAD_LOOP = """
+    int main() {
+        int i = 0;
+        return i;
+        while (i < 10) { i = i + 1; }
+        return 0;
+    }
+    """
+
+    def test_dead_blocks_exist_but_are_unreachable(self):
+        fn = compile_source(self.DEAD_LOOP).main
+        live = reachable_blocks(fn)
+        assert len(fn.blocks) > len(live), \
+            "lowering should keep the dead while-loop blocks"
+        assert live == {fn.entry_block.id}
+
+    def test_forward_dominators_exclude_dead_blocks(self):
+        fn = compile_source(self.DEAD_LOOP).main
+        assert set(dominators_of(fn)) <= reachable_blocks(fn)
+
+    def test_post_dominators_exclude_dead_blocks(self):
+        # Regression: dead Ret blocks reach the virtual exit in the
+        # reverse CFG, so they used to show up in the post-dominator
+        # map (and polluted live blocks' reverse predecessor sets).
+        fn = compile_source(self.DEAD_LOOP).main
+        ipdom = post_dominators(fn)
+        assert set(ipdom) <= reachable_blocks(fn)
+        assert ipdom[fn.entry_block.id] == VIRTUAL_EXIT
+
+    def test_dead_branch_into_live_code_does_not_skew_live_ipdoms(self):
+        # The dead conditional jumps back into live code; the live
+        # blocks' post-dominators must be what they would be without
+        # the dead blocks.
+        source = """
+        int main() {
+            int x = 1;
+            if (x) { x = 2; } else { x = 3; }
+            return x;
+            if (x > 1) { return 1; }
+            return 2;
+        }
+        """
+        fn = compile_source(source).main
+        live = reachable_blocks(fn)
+        ipdom = post_dominators(fn)
+        assert set(ipdom) <= live
+        labels = {b.id: b.label for b in fn.blocks}
+        branch_block = next(b for b in fn.blocks if "entry" in b.label)
+        assert "if.join" in labels[ipdom[branch_block.id]]

@@ -87,3 +87,102 @@ class TestLoopShapes:
         (loop,) = loops
         # Loop body contains the conditional blocks.
         assert len(loop.body) >= 6
+
+
+def _branch(pc):
+    """A Branch with an assigned pc (finalize() normally does this)."""
+    branch = ins.Branch(line=1, col=1, cond=0, then_block=1,
+                        else_block=2, hint="while")
+    branch.pc = pc
+    return branch
+
+
+class _FakeBlock:
+    def __init__(self, terminator):
+        self.terminator = terminator
+
+
+class TestCanonicalBranchDeterminism:
+    """With several branch-terminated back-edge sources (a merged
+    shared-header loop) the canonical branch must be a property of the
+    loop, not of back-edge discovery order."""
+
+    def test_min_pc_regardless_of_back_edge_order(self):
+        from repro.analysis.loops import LoopInfo, _canonical_branch
+
+        # Header ends in a Jump; two back-edge sources end in Branches.
+        jump = ins.Jump(line=1, col=1, target=0)
+        jump.pc = 10
+        blocks = {0: _FakeBlock(jump),
+                  1: _FakeBlock(_branch(30)),
+                  2: _FakeBlock(_branch(20))}
+        for order in ([(1, 0), (2, 0)], [(2, 0), (1, 0)]):
+            loop = LoopInfo(header=0)
+            loop.back_edges = list(order)
+            assert _canonical_branch(blocks, loop) == 20
+
+    def test_header_branch_always_wins(self):
+        from repro.analysis.loops import LoopInfo, _canonical_branch
+
+        blocks = {0: _FakeBlock(_branch(40)),
+                  1: _FakeBlock(_branch(5))}
+        loop = LoopInfo(header=0)
+        loop.back_edges = [(1, 0)]
+        assert _canonical_branch(blocks, loop) == 40
+
+
+class TestLoopStructurePins:
+    """Pin nested-loop and shared-header behavior of find_loops."""
+
+    def test_triple_nesting_is_strictly_ordered(self):
+        program, loops = loops_of("""
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 2; i++)
+                for (int j = 0; j < 2; j++)
+                    for (int k = 0; k < 2; k++)
+                        s += 1;
+            return s;
+        }
+        """)
+        assert len(loops) == 3
+        by_size = sorted(loops, key=lambda l: len(l.body))
+        inner, middle, outer = by_size
+        assert set(inner.body) < set(middle.body) < set(outer.body)
+        # Each loop's canonical branch sits inside its own body.
+        for loop in loops:
+            branch = program.instrs[loop.canonical_branch_pc]
+            assert isinstance(branch, ins.Branch)
+        # Loops are reported sorted by header id — a deterministic,
+        # input-independent order.
+        assert [l.header for l in loops] == sorted(l.header for l in loops)
+
+    def test_continue_keeps_one_loop_with_one_header(self):
+        # `continue` adds a second path to the loop's step block, not a
+        # second natural loop: the back-edge set stays merged under a
+        # single header.
+        _, loops = loops_of("""
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 10; i++) {
+                if (i % 3 == 0) continue;
+                s += i;
+            }
+            return s;
+        }
+        """)
+        (loop,) = loops
+        assert loop.canonical_branch_pc is not None
+
+    def test_sibling_loops_do_not_share_bodies(self):
+        _, loops = loops_of("""
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 3; i++) s += i;
+            for (int j = 0; j < 3; j++) s -= j;
+            return s;
+        }
+        """)
+        assert len(loops) == 2
+        first, second = loops
+        assert not (set(first.body) & set(second.body))

@@ -1,0 +1,55 @@
+"""Committed golden snapshots of ``alchemist screen --json``.
+
+Two Table III workloads (gzip and bzip2) are screened statically and
+the full JSON payload is compared byte-for-byte against
+``tests/golden/screen/``. The CI ``static-analysis`` job repeats the
+same comparison through the real CLI, so the committed files also pin
+the command-line surface.
+
+Regenerate after an intentional static-model change::
+
+    ALCHEMIST_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \\
+        tests/staticdep/test_screen_golden.py -q
+"""
+
+import difflib
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.api import Session
+from repro.workloads import get
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden" / "screen"
+SCALE = 0.25
+WORKLOADS = ("gzip", "bzip2")
+REGEN = bool(os.environ.get("ALCHEMIST_REGEN_GOLDEN"))
+
+
+def _render(workload: str) -> str:
+    with Session() as session:
+        static = session.static_report(get(workload, SCALE).source,
+                                       filename=workload)
+        assert session.stats.records == 0
+        assert session.stats.live_runs == 0
+    return json.dumps(static.to_dict(), indent=2, sort_keys=True) + "\n"
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_screen_json_matches_golden(workload):
+    path = GOLDEN_DIR / f"{workload}.json"
+    rendered = _render(workload)
+    if REGEN:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(rendered)
+        pytest.skip(f"regenerated {path}")
+    assert path.exists(), \
+        f"missing golden {path}; regenerate with ALCHEMIST_REGEN_GOLDEN=1"
+    expected = path.read_text()
+    if rendered != expected:
+        diff = "\n".join(difflib.unified_diff(
+            expected.splitlines(), rendered.splitlines(),
+            fromfile=str(path), tofile="rendered", lineterm=""))
+        pytest.fail(f"static screen drift for {workload}:\n{diff[:4000]}")
